@@ -1,0 +1,169 @@
+// Package kernelsim models the Linux-kernel-dependent costs that dominate
+// MANA's runtime overhead in the paper.
+//
+// Section 3.3 of the paper identifies two sources of overhead:
+//
+//  1. The FS-register switch. Control transfer between the upper half
+//     (application) and the lower half (MPI library) requires changing the
+//     x86-64 FS segment register so thread-local storage resolves into the
+//     correct half. On an unpatched kernel this requires a system call
+//     (arch_prctl), costing on the order of a microsecond round trip; with
+//     the FSGSBASE patch the unprivileged WRFSBASE instruction costs only a
+//     few nanoseconds.
+//  2. Handle virtualisation: a hash-table lookup plus locking for every MPI
+//     call that passes a communicator, datatype or request handle. This is
+//     modelled in package virtid but the per-lookup cost constant lives
+//     here so all kernel/CPU cost constants are in one place.
+//
+// The package also models sbrk() semantics for the simulated address space:
+// after restart the kernel would extend the *lower-half* data segment on
+// sbrk because that is the program it originally loaded, which is why MANA
+// interposes on sbrk in the upper-half libc and uses mmap instead (§2.1).
+package kernelsim
+
+import "mana/internal/vtime"
+
+// Personality identifies the kernel variant a node runs.
+type Personality int
+
+const (
+	// Unpatched is a stock Linux kernel in which changing the FS register
+	// requires the arch_prctl system call.
+	Unpatched Personality = iota
+	// Patched is a kernel carrying the FSGSBASE patch (under review at the
+	// time of the paper; merged in Linux 5.9), allowing user space to write
+	// the FS register directly.
+	Patched
+)
+
+// String returns a human-readable kernel personality name.
+func (p Personality) String() string {
+	switch p {
+	case Unpatched:
+		return "unpatched"
+	case Patched:
+		return "patched(FSGSBASE)"
+	default:
+		return "unknown"
+	}
+}
+
+// Cost constants for the model. The absolute values are calibrated to
+// produce the paper's observed shapes (roughly 2% worst-case application
+// overhead on an unpatched kernel falling to about 0.6% on a patched one,
+// and visible small-message bandwidth degradation only when unpatched).
+const (
+	// fsSwitchSyscallCost is the cost of one arch_prctl system call to set
+	// the FS base register on an unpatched kernel.
+	fsSwitchSyscallCost = 900 * vtime.Nanosecond
+	// fsSwitchFSGSBASECost is the cost of a WRFSBASE instruction on a
+	// patched kernel.
+	fsSwitchFSGSBASECost = 6 * vtime.Nanosecond
+	// virtualizationLookupCost is the hash-table lookup plus lock
+	// acquisition for translating one virtual MPI handle.
+	virtualizationLookupCost = 35 * vtime.Nanosecond
+	// recordMetadataCost is the cost of appending one entry to the
+	// record-replay log for calls with persistent effects, or of recording
+	// send/receive metadata for the draining algorithm.
+	recordMetadataCost = 60 * vtime.Nanosecond
+	// syscallBaseCost is the generic cost of an uninteresting system call
+	// (used for sbrk/mmap accounting).
+	syscallBaseCost = 250 * vtime.Nanosecond
+)
+
+// Kernel is the cost model for one node's kernel.
+type Kernel struct {
+	personality Personality
+}
+
+// New returns a kernel model with the given personality.
+func New(p Personality) *Kernel {
+	return &Kernel{personality: p}
+}
+
+// Personality reports the kernel variant.
+func (k *Kernel) Personality() Personality { return k.personality }
+
+// FSSwitchCost returns the cost of a single FS-register change. Every
+// upper→lower or lower→upper control transfer in the split process performs
+// one such change.
+func (k *Kernel) FSSwitchCost() vtime.Duration {
+	if k.personality == Patched {
+		return fsSwitchFSGSBASECost
+	}
+	return fsSwitchSyscallCost
+}
+
+// RoundTripSwitchCost returns the cost of a full upper→lower→upper round
+// trip (two FS-register changes), which is charged per MPI call made by the
+// application under MANA.
+func (k *Kernel) RoundTripSwitchCost() vtime.Duration {
+	return 2 * k.FSSwitchCost()
+}
+
+// VirtualizationLookupCost returns the cost of translating one opaque MPI
+// handle through the virtualisation table.
+func (k *Kernel) VirtualizationLookupCost() vtime.Duration {
+	return virtualizationLookupCost
+}
+
+// RecordMetadataCost returns the cost of logging one call for record/replay
+// or message-drain bookkeeping.
+func (k *Kernel) RecordMetadataCost() vtime.Duration {
+	return recordMetadataCost
+}
+
+// SyscallCost returns the generic system-call cost used for memory
+// management operations in the simulated address space.
+func (k *Kernel) SyscallCost() vtime.Duration {
+	return syscallBaseCost
+}
+
+// MANAPerCallOverhead returns the total per-MPI-call overhead MANA imposes:
+// the FS round trip, nHandles virtualisation lookups and, when the call has
+// persistent or in-flight effects, one metadata record.
+func (k *Kernel) MANAPerCallOverhead(nHandles int, recorded bool) vtime.Duration {
+	d := k.RoundTripSwitchCost()
+	if nHandles > 0 {
+		d += vtime.Duration(nHandles) * virtualizationLookupCost
+	}
+	if recorded {
+		d += recordMetadataCost
+	}
+	return d
+}
+
+// SbrkBehavior describes what the (real) kernel would do on an sbrk call in
+// a split process, and what MANA does about it.
+type SbrkBehavior int
+
+const (
+	// SbrkExtendsLowerHalf models the hazard described in §2.1: after
+	// restart, the kernel's notion of "the" data segment belongs to the
+	// lower-half bootstrap program, so a naive sbrk would grow lower-half
+	// memory and corrupt the split.
+	SbrkExtendsLowerHalf SbrkBehavior = iota
+	// SbrkRedirectedToMmap is MANA's resolution: interpose on sbrk in the
+	// upper-half libc and satisfy the request with mmap'd upper-half
+	// regions instead.
+	SbrkRedirectedToMmap
+)
+
+// SbrkBehaviorFor reports how a heap-growth request is handled.
+// afterRestart indicates whether the process has been restored from a
+// checkpoint image (when the kernel's brk pointer refers to the bootstrap
+// program's data segment); interposed indicates whether MANA's sbrk wrapper
+// is active.
+func SbrkBehaviorFor(afterRestart, interposed bool) SbrkBehavior {
+	if interposed {
+		return SbrkRedirectedToMmap
+	}
+	if afterRestart {
+		return SbrkExtendsLowerHalf
+	}
+	// Before the first checkpoint the kernel's brk still refers to the
+	// original (upper-half) program, so plain sbrk is harmless; MANA still
+	// interposes for uniformity, but the hazard only materialises after
+	// restart.
+	return SbrkRedirectedToMmap
+}

@@ -1,0 +1,103 @@
+package kernelsim
+
+import (
+	"testing"
+
+	"mana/internal/vtime"
+)
+
+func TestPersonalityString(t *testing.T) {
+	if Unpatched.String() != "unpatched" {
+		t.Errorf("Unpatched.String() = %q", Unpatched.String())
+	}
+	if Patched.String() != "patched(FSGSBASE)" {
+		t.Errorf("Patched.String() = %q", Patched.String())
+	}
+	if Personality(99).String() != "unknown" {
+		t.Errorf("unknown personality should stringify as unknown")
+	}
+}
+
+func TestFSSwitchCostPatchedMuchCheaper(t *testing.T) {
+	u := New(Unpatched)
+	p := New(Patched)
+	if u.FSSwitchCost() <= p.FSSwitchCost() {
+		t.Fatalf("unpatched FS switch (%v) should cost more than patched (%v)",
+			u.FSSwitchCost(), p.FSSwitchCost())
+	}
+	// The paper attributes most of the ~2% overhead to this cost; the ratio
+	// between syscall and FSGSBASE paths should be large (orders of
+	// magnitude, not a few percent).
+	if u.FSSwitchCost() < 50*p.FSSwitchCost() {
+		t.Errorf("expected >=50x gap between unpatched and patched switch cost, got %v vs %v",
+			u.FSSwitchCost(), p.FSSwitchCost())
+	}
+}
+
+func TestRoundTripIsTwoSwitches(t *testing.T) {
+	for _, pers := range []Personality{Unpatched, Patched} {
+		k := New(pers)
+		if k.RoundTripSwitchCost() != 2*k.FSSwitchCost() {
+			t.Errorf("%v: round trip %v != 2 * switch %v", pers, k.RoundTripSwitchCost(), k.FSSwitchCost())
+		}
+	}
+}
+
+func TestPersonalityAccessor(t *testing.T) {
+	if New(Patched).Personality() != Patched {
+		t.Errorf("Personality() did not round-trip")
+	}
+}
+
+func TestMANAPerCallOverheadComposition(t *testing.T) {
+	k := New(Unpatched)
+	base := k.MANAPerCallOverhead(0, false)
+	if base != k.RoundTripSwitchCost() {
+		t.Errorf("no-handle overhead %v != round trip %v", base, k.RoundTripSwitchCost())
+	}
+	withHandles := k.MANAPerCallOverhead(3, false)
+	if withHandles != base+3*k.VirtualizationLookupCost() {
+		t.Errorf("handle overhead not additive: %v", withHandles)
+	}
+	withRecord := k.MANAPerCallOverhead(1, true)
+	want := base + k.VirtualizationLookupCost() + k.RecordMetadataCost()
+	if withRecord != want {
+		t.Errorf("recorded overhead = %v, want %v", withRecord, want)
+	}
+}
+
+func TestOverheadMonotoneInHandles(t *testing.T) {
+	k := New(Patched)
+	prev := vtime.Duration(-1)
+	for n := 0; n < 10; n++ {
+		d := k.MANAPerCallOverhead(n, false)
+		if d <= prev {
+			t.Fatalf("overhead not strictly increasing at n=%d: %v <= %v", n, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestAuxiliaryCostsPositive(t *testing.T) {
+	k := New(Unpatched)
+	if k.VirtualizationLookupCost() <= 0 || k.RecordMetadataCost() <= 0 || k.SyscallCost() <= 0 {
+		t.Errorf("auxiliary costs must be positive")
+	}
+}
+
+func TestSbrkBehavior(t *testing.T) {
+	cases := []struct {
+		afterRestart, interposed bool
+		want                     SbrkBehavior
+	}{
+		{false, true, SbrkRedirectedToMmap},
+		{true, true, SbrkRedirectedToMmap},
+		{true, false, SbrkExtendsLowerHalf},
+		{false, false, SbrkRedirectedToMmap},
+	}
+	for _, c := range cases {
+		if got := SbrkBehaviorFor(c.afterRestart, c.interposed); got != c.want {
+			t.Errorf("SbrkBehaviorFor(%v,%v) = %v, want %v", c.afterRestart, c.interposed, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,490 @@
+// Package memsim simulates the single-process address space that MANA's
+// split-process technique manages.
+//
+// A real MANA process contains two programs: the upper half (the MPI
+// application, its libc, heap and stack) and the lower half (a small
+// bootstrap program that loads the MPI library and the network libraries).
+// MANA's central trick is bookkeeping: it tags every memory region as
+// belonging to one half so that, at checkpoint time, only upper-half
+// regions are written to the image and the entire lower half is discarded.
+//
+// This package reproduces that bookkeeping. An AddressSpace holds Regions,
+// each tagged with a Half and a Kind; it supports Mmap/Munmap/Sbrk with the
+// same hazards the paper describes (sbrk after restart would grow the wrong
+// program's data segment unless interposed, §2.1); and it produces
+// Snapshots containing exactly the regions a checkpoint image must carry.
+package memsim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Half identifies which program of the split process owns a region.
+type Half int
+
+const (
+	// UpperHalf is the MPI application: code, data, heap, stack,
+	// environment, and its own copies of libc and (an uninitialised) MPI
+	// library as link-time dependencies.
+	UpperHalf Half = iota
+	// LowerHalf is the ephemeral program: the bootstrap loader, the active
+	// MPI library, network/driver libraries and any memory they map
+	// (pinned buffers, driver shared memory).
+	LowerHalf
+)
+
+// String returns the conventional name of the half.
+func (h Half) String() string {
+	switch h {
+	case UpperHalf:
+		return "upper"
+	case LowerHalf:
+		return "lower"
+	default:
+		return "invalid"
+	}
+}
+
+// Kind classifies a region by its role. Kinds matter for the memory
+// overhead accounting of §3.2.2 (duplicated text segments, driver shared
+// memory growth) and for deciding how a region is restored.
+type Kind int
+
+const (
+	KindText Kind = iota // program or library code
+	KindData             // initialised/uninitialised data segments
+	KindHeap             // sbrk- or mmap-grown heap
+	KindStack
+	KindSharedMem  // System V / driver shared memory
+	KindPinned     // NIC-registered (pinned) buffers
+	KindDriver     // memory-mapped device regions
+	KindAnonymous  // other anonymous mappings
+	KindEnviron    // environment and auxiliary vectors
+	KindThreadLoc  // thread-local storage blocks
+	KindCheckpoint // scratch regions used by the checkpoint helper itself
+)
+
+var kindNames = map[Kind]string{
+	KindText:       "text",
+	KindData:       "data",
+	KindHeap:       "heap",
+	KindStack:      "stack",
+	KindSharedMem:  "shm",
+	KindPinned:     "pinned",
+	KindDriver:     "driver",
+	KindAnonymous:  "anon",
+	KindEnviron:    "environ",
+	KindThreadLoc:  "tls",
+	KindCheckpoint: "ckpt-scratch",
+}
+
+// String returns a short name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// Region is one contiguous mapping in the simulated address space.
+type Region struct {
+	// Name is a human-readable label, e.g. "libmpich.so.text" or
+	// "[heap]".
+	Name string
+	// Half records which program of the split process owns the region.
+	Half Half
+	// Kind records the region's role.
+	Kind Kind
+	// Addr is the simulated start address.
+	Addr uint64
+	// Size is the region length in bytes.
+	Size uint64
+	// Data optionally carries the region's contents. Regions without
+	// explicit contents (e.g. library text modelled only for size
+	// accounting) checkpoint as zero-filled pages of length Size.
+	Data []byte
+}
+
+// End returns the first address past the region.
+func (r *Region) End() uint64 { return r.Addr + r.Size }
+
+// clone returns a deep copy of the region (including contents).
+func (r *Region) clone() Region {
+	c := *r
+	if r.Data != nil {
+		c.Data = make([]byte, len(r.Data))
+		copy(c.Data, r.Data)
+	}
+	return c
+}
+
+// Layout constants for the simulated address space. The exact values are
+// arbitrary; they only need to keep the halves disjoint, mirroring how the
+// real MANA reserves distinct address ranges for the lower half.
+const (
+	upperBase     = 0x0000_4000_0000_0000
+	lowerBase     = 0x0000_7000_0000_0000
+	mmapAlignment = 4096
+)
+
+// AddressSpace is the simulated process memory map. It is safe for
+// concurrent use; the checkpoint helper thread reads it while the
+// application allocates.
+type AddressSpace struct {
+	mu          sync.RWMutex
+	regions     map[uint64]*Region // keyed by start address
+	nextUpper   uint64
+	nextLower   uint64
+	brk         uint64 // simulated program break (upper-half data segment end)
+	brkBase     uint64
+	sbrkInter   bool // MANA's sbrk interposition active
+	postRestart bool // true once the space has been rebuilt from an image
+}
+
+// NewAddressSpace returns an empty address space with MANA's sbrk
+// interposition enabled (the default when running under MANA).
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{
+		regions:   make(map[uint64]*Region),
+		nextUpper: upperBase,
+		nextLower: lowerBase,
+		brkBase:   upperBase,
+		brk:       upperBase,
+		sbrkInter: true,
+	}
+}
+
+// SetSbrkInterposition enables or disables MANA's interposition on sbrk.
+// Disabling it exposes the §2.1 hazard, which the tests exercise.
+func (a *AddressSpace) SetSbrkInterposition(on bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.sbrkInter = on
+}
+
+// SbrkInterposed reports whether sbrk interposition is enabled.
+func (a *AddressSpace) SbrkInterposed() bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.sbrkInter
+}
+
+// MarkPostRestart records that the address space has been reconstructed
+// from a checkpoint image, which changes sbrk behaviour (the kernel's brk
+// now refers to the bootstrap program).
+func (a *AddressSpace) MarkPostRestart() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.postRestart = true
+}
+
+// PostRestart reports whether the space was rebuilt from an image.
+func (a *AddressSpace) PostRestart() bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.postRestart
+}
+
+func align(n uint64) uint64 {
+	if rem := n % mmapAlignment; rem != 0 {
+		n += mmapAlignment - rem
+	}
+	return n
+}
+
+// Mmap creates a new region in the given half and returns it. Size is
+// rounded up to the page size.
+func (a *AddressSpace) Mmap(name string, half Half, kind Kind, size uint64) *Region {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.mmapLocked(name, half, kind, size)
+}
+
+func (a *AddressSpace) mmapLocked(name string, half Half, kind Kind, size uint64) *Region {
+	size = align(size)
+	var addr uint64
+	switch half {
+	case UpperHalf:
+		addr = a.nextUpper
+		a.nextUpper += size + mmapAlignment
+	case LowerHalf:
+		addr = a.nextLower
+		a.nextLower += size + mmapAlignment
+	default:
+		panic(fmt.Sprintf("memsim: invalid half %d", half))
+	}
+	r := &Region{Name: name, Half: half, Kind: kind, Addr: addr, Size: size}
+	a.regions[addr] = r
+	return r
+}
+
+// MmapWithData creates a region initialised with the given contents.
+func (a *AddressSpace) MmapWithData(name string, half Half, kind Kind, data []byte) *Region {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r := a.mmapLocked(name, half, kind, uint64(len(data)))
+	r.Data = make([]byte, len(data))
+	copy(r.Data, data)
+	return r
+}
+
+// Munmap removes the region starting at addr. It reports whether a region
+// was found.
+func (a *AddressSpace) Munmap(addr uint64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.regions[addr]; !ok {
+		return false
+	}
+	delete(a.regions, addr)
+	return true
+}
+
+// UnmapHalf removes every region belonging to the given half and returns
+// the number of bytes released. MANA uses this to discard the lower half
+// before restoring a checkpoint image, and to model the "ephemeral" MPI
+// library.
+func (a *AddressSpace) UnmapHalf(half Half) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var released uint64
+	for addr, r := range a.regions {
+		if r.Half == half {
+			released += r.Size
+			delete(a.regions, addr)
+		}
+	}
+	return released
+}
+
+// SbrkResult describes the outcome of a heap-growth request.
+type SbrkResult struct {
+	// Region is the upper-half region that satisfied the request (either
+	// the grown data segment or a fresh mmap).
+	Region *Region
+	// UsedMmap reports whether the request was redirected to mmap by
+	// MANA's interposition.
+	UsedMmap bool
+	// CorruptedLowerHalf reports that, without interposition and after
+	// restart, the kernel grew the lower-half program's data segment —
+	// the hazard §2.1 describes.
+	CorruptedLowerHalf bool
+}
+
+// Sbrk grows the heap by delta bytes and reports how the request was
+// satisfied.
+func (a *AddressSpace) Sbrk(delta uint64) SbrkResult {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.sbrkInter {
+		r := a.mmapLocked("[heap-mmap]", UpperHalf, KindHeap, delta)
+		return SbrkResult{Region: r, UsedMmap: true}
+	}
+	if a.postRestart {
+		// The kernel's brk refers to the bootstrap (lower-half) program.
+		r := a.mmapLocked("[lower-brk-growth]", LowerHalf, KindData, delta)
+		return SbrkResult{Region: r, CorruptedLowerHalf: true}
+	}
+	// Pre-checkpoint, the brk belongs to the original upper-half program.
+	r := a.mmapLocked("[heap]", UpperHalf, KindHeap, delta)
+	a.brk += align(delta)
+	return SbrkResult{Region: r}
+}
+
+// Regions returns a snapshot slice of all regions sorted by address.
+func (a *AddressSpace) Regions() []Region {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]Region, 0, len(a.regions))
+	for _, r := range a.regions {
+		out = append(out, r.clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// RegionsOf returns the regions belonging to one half, sorted by address.
+func (a *AddressSpace) RegionsOf(half Half) []Region {
+	all := a.Regions()
+	out := all[:0]
+	for _, r := range all {
+		if r.Half == half {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// BytesOf returns the total size in bytes of all regions in one half.
+func (a *AddressSpace) BytesOf(half Half) uint64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	var total uint64
+	for _, r := range a.regions {
+		if r.Half == half {
+			total += r.Size
+		}
+	}
+	return total
+}
+
+// BytesOfKind returns the total size of regions of a given half and kind.
+func (a *AddressSpace) BytesOfKind(half Half, kind Kind) uint64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	var total uint64
+	for _, r := range a.regions {
+		if r.Half == half && r.Kind == kind {
+			total += r.Size
+		}
+	}
+	return total
+}
+
+// Lookup returns the region starting at addr, if any.
+func (a *AddressSpace) Lookup(addr uint64) (Region, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	r, ok := a.regions[addr]
+	if !ok {
+		return Region{}, false
+	}
+	return r.clone(), true
+}
+
+// Write stores data into the region starting at addr at the given offset.
+// It returns an error if the region does not exist or the write would
+// overflow it.
+func (a *AddressSpace) Write(addr uint64, offset uint64, data []byte) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r, ok := a.regions[addr]
+	if !ok {
+		return fmt.Errorf("memsim: write to unmapped region 0x%x", addr)
+	}
+	if offset+uint64(len(data)) > r.Size {
+		return fmt.Errorf("memsim: write of %d bytes at offset %d overflows region %q (size %d)",
+			len(data), offset, r.Name, r.Size)
+	}
+	if r.Data == nil {
+		r.Data = make([]byte, r.Size)
+	} else if uint64(len(r.Data)) < r.Size {
+		grown := make([]byte, r.Size)
+		copy(grown, r.Data)
+		r.Data = grown
+	}
+	copy(r.Data[offset:], data)
+	return nil
+}
+
+// Read copies length bytes from the region starting at addr at offset.
+func (a *AddressSpace) Read(addr uint64, offset uint64, length uint64) ([]byte, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	r, ok := a.regions[addr]
+	if !ok {
+		return nil, fmt.Errorf("memsim: read from unmapped region 0x%x", addr)
+	}
+	if offset+length > r.Size {
+		return nil, fmt.Errorf("memsim: read of %d bytes at offset %d overflows region %q (size %d)",
+			length, offset, r.Name, r.Size)
+	}
+	out := make([]byte, length)
+	if r.Data != nil {
+		end := offset + length
+		if end > uint64(len(r.Data)) {
+			end = uint64(len(r.Data))
+		}
+		if offset < end {
+			copy(out, r.Data[offset:end])
+		}
+	}
+	return out, nil
+}
+
+// Snapshot is the set of regions a checkpoint image carries: exactly the
+// upper-half regions (the lower half is discarded).
+type Snapshot struct {
+	Regions []Region
+	// Brk is the saved program break so heap state can be restored.
+	Brk uint64
+}
+
+// SnapshotUpperHalf captures all upper-half regions. This is what MANA's
+// checkpoint helper writes to the image file.
+func (a *AddressSpace) SnapshotUpperHalf() Snapshot {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	snap := Snapshot{Brk: a.brk}
+	for _, r := range a.regions {
+		if r.Half == UpperHalf {
+			snap.Regions = append(snap.Regions, r.clone())
+		}
+	}
+	sort.Slice(snap.Regions, func(i, j int) bool { return snap.Regions[i].Addr < snap.Regions[j].Addr })
+	return snap
+}
+
+// TotalBytes returns the number of bytes of memory captured by the
+// snapshot; this is the per-rank checkpoint image payload size.
+func (s Snapshot) TotalBytes() uint64 {
+	var total uint64
+	for _, r := range s.Regions {
+		total += r.Size
+	}
+	return total
+}
+
+// RestoreUpperHalf rebuilds the upper half of the address space from a
+// snapshot. Existing upper-half regions are discarded first (the restore
+// happens into the bootstrap program's address space, whose upper half is
+// empty apart from the restore stub). Lower-half regions are untouched:
+// they belong to the freshly initialised MPI library.
+func (a *AddressSpace) RestoreUpperHalf(s Snapshot) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for addr, r := range a.regions {
+		if r.Half == UpperHalf {
+			delete(a.regions, addr)
+		}
+	}
+	maxEnd := uint64(upperBase)
+	for _, r := range s.Regions {
+		c := r.clone()
+		a.regions[c.Addr] = &c
+		if c.End() > maxEnd {
+			maxEnd = c.End()
+		}
+	}
+	if a.nextUpper < maxEnd+mmapAlignment {
+		a.nextUpper = maxEnd + mmapAlignment
+	}
+	a.brk = s.Brk
+	a.postRestart = true
+}
+
+// Equal reports whether two snapshots describe identical upper-half memory
+// (same regions, same contents). Used by tests to prove checkpoint/restore
+// round-trips are lossless.
+func (s Snapshot) Equal(o Snapshot) bool {
+	if len(s.Regions) != len(o.Regions) || s.Brk != o.Brk {
+		return false
+	}
+	for i := range s.Regions {
+		a, b := s.Regions[i], o.Regions[i]
+		if a.Addr != b.Addr || a.Size != b.Size || a.Half != b.Half || a.Kind != b.Kind || a.Name != b.Name {
+			return false
+		}
+		if len(a.Data) != len(b.Data) {
+			return false
+		}
+		for j := range a.Data {
+			if a.Data[j] != b.Data[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
