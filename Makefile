@@ -1,0 +1,32 @@
+# Local targets mirror .github/workflows/ci.yml step for step, so "it
+# passes locally" and "it passes in CI" mean the same thing.
+
+GO ?= go
+
+.PHONY: all build test race lint fmt bench run
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -count=1 ./...
+
+race:
+	$(GO) test -race -count=1 ./...
+
+lint:
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needs to be run on:"; echo "$$out"; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+run:
+	$(GO) run ./cmd/manasim

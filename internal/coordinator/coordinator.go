@@ -1,0 +1,607 @@
+// Package coordinator implements MANA's checkpoint coordination protocol
+// (paper §3.1–3.2) over the simulated rank runtime.
+//
+// The coordinator drives a deterministic scheduler: it executes each
+// rank's scripted operations in rank order, completes collectives when
+// every participant has arrived, and services checkpoint requests with
+// the paper's two-phase protocol:
+//
+//	Phase 1 (quiesce): broadcast checkpoint intent to every rank. Ranks
+//	stop starting new operations at their next call boundary. If any
+//	rank is inside a collective, all ranks keep executing until that
+//	collective completes — a checkpoint never lands mid-collective.
+//	Then the in-flight point-to-point messages are drained: the
+//	per-pair send/receive counters are compared and every outstanding
+//	message is received into the destination rank's buffer, until the
+//	counters agree that the network is quiescent.
+//
+//	Phase 2 (commit): each rank captures its upper-half memory snapshot
+//	(memsim.SnapshotUpperHalf) together with its clock, program counter,
+//	drained-message buffer and stats, and charges the image write time
+//	(with the §3.4 parallel-filesystem straggler model) to its
+//	checkpoint-overhead account.
+//
+// Restart discards every rank's lower half, bootstraps a fresh one,
+// replays the saved upper-half region maps, restores clocks and network
+// counters, and resumes the scheduler. Because checkpoint activity is
+// accounted outside the application clocks, a restarted run reaches
+// bit-identical virtual-time results to an uncheckpointed one — the
+// property the determinism tests pin down.
+package coordinator
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"mana/internal/kernelsim"
+	"mana/internal/memsim"
+	"mana/internal/netsim"
+	"mana/internal/rank"
+	"mana/internal/vtime"
+)
+
+// Trigger schedules one checkpoint request.
+type Trigger struct {
+	// At requests the checkpoint once the job's maximum rank clock
+	// reaches this virtual time.
+	At vtime.Time
+	// MidCollective, when set, instead requests the checkpoint at the
+	// first moment (not before At) at which a collective is partially
+	// arrived — some but not all ranks inside it. This exercises the
+	// protocol's deferral path deterministically.
+	MidCollective bool
+	// InFlight, when set, instead requests the checkpoint at the first
+	// moment (not before At) at which point-to-point messages are in
+	// flight — sent but not yet received — so the drain phase has real
+	// work to do.
+	InFlight bool
+}
+
+// Config parameterises one simulated job.
+type Config struct {
+	// Ranks is the number of simulated MPI ranks.
+	Ranks int
+	// Personality selects the kernel cost model for every node.
+	Personality kernelsim.Personality
+	// Net is the interconnect cost model.
+	Net netsim.Params
+	// Workload parameterises the generated SPMD scripts.
+	Workload rank.WorkloadConfig
+	// CkptWriteBandwidth and CkptReadBandwidth are the per-rank
+	// parallel-filesystem bandwidths for image write and restart read.
+	// Zero or negative values model free (instantaneous) I/O, matching
+	// netsim.Params.SerializeCost.
+	CkptWriteBandwidth float64
+	CkptReadBandwidth  float64
+	// StragglerP and StragglerMax drive the §3.4 write-straggler model.
+	StragglerP   float64
+	StragglerMax float64
+	// Seed drives the straggler RNG (and nothing else — the scheduler
+	// itself is deterministic).
+	Seed uint64
+	// Triggers are the scheduled checkpoint requests.
+	Triggers []Trigger
+	// FailAtCheckpoint, when non-zero, simulates a job failure
+	// FailDelaySteps scheduler iterations after checkpoint number
+	// FailAtCheckpoint commits; Run then returns Failed and the caller
+	// restarts from the last image.
+	FailAtCheckpoint int
+	FailDelaySteps   int
+	// ScriptFor, when non-nil, overrides the generated workload with a
+	// handcrafted per-rank script. Tests use it to stage precise
+	// protocol situations (messages in flight, partial collectives).
+	ScriptFor func(id int) []rank.Op
+}
+
+// DefaultConfig returns a runnable 8-rank configuration.
+func DefaultConfig() Config {
+	return Config{
+		Ranks:              8,
+		Personality:        kernelsim.Unpatched,
+		Net:                netsim.DefaultParams(),
+		Workload:           rank.DefaultWorkload(8, 30, 42),
+		CkptWriteBandwidth: 2e9,
+		CkptReadBandwidth:  4e9,
+		StragglerP:         0.1,
+		StragglerMax:       4.0,
+		Seed:               42,
+	}
+}
+
+// Outcome reports how a Run ended.
+type Outcome int
+
+const (
+	// Completed means every rank exhausted its script.
+	Completed Outcome = iota
+	// Failed means the configured failure injection fired; the caller
+	// should Restart and Run again.
+	Failed
+)
+
+// String returns a human-readable outcome name.
+func (o Outcome) String() string {
+	switch o {
+	case Completed:
+		return "completed"
+	case Failed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// CheckpointRecord describes one committed checkpoint.
+type CheckpointRecord struct {
+	Seq           int
+	RequestedAt   vtime.Time
+	MidCollective bool
+	// SafeAt is the virtual time (max rank clock) at which the safe
+	// point was reached and draining began.
+	SafeAt vtime.Time
+	// DeferredFor is how much virtual application progress elapsed
+	// between the request and the safe point (non-zero when the request
+	// landed mid-collective).
+	DeferredFor  vtime.Duration
+	DrainedMsgs  int
+	DrainedBytes uint64
+	ImageBytes   uint64
+	// MaxWriteTime is the slowest rank's image write (straggler-scaled).
+	MaxWriteTime vtime.Duration
+	// Fingerprint digests every rank's image for determinism checks.
+	Fingerprint uint64
+}
+
+// RestartRecord describes one restart.
+type RestartRecord struct {
+	FromSeq int
+	// ResumeClock is the restored maximum rank clock.
+	ResumeClock vtime.Time
+}
+
+// request is one in-flight checkpoint request.
+type request struct {
+	at            vtime.Time
+	midCollective bool
+}
+
+// committed holds the last committed checkpoint, from which Restart
+// rebuilds the job.
+type committed struct {
+	seq      int
+	images   []rank.Image
+	counters netsim.Counters
+}
+
+// Coordinator owns the ranks, the network and the checkpoint protocol.
+type Coordinator struct {
+	cfg   Config
+	ranks []*rank.Rank
+	net   *netsim.Network
+	rng   *vtime.RNG
+
+	triggers []Trigger
+	fired    []bool
+	pending  []request
+
+	// Collective rendezvous state: stamps of ranks that have arrived at
+	// the currently forming collective.
+	collStamps []vtime.Stamp
+	collKind   netsim.CollectiveKind
+	collBytes  uint64
+
+	records  []CheckpointRecord
+	restarts []RestartRecord
+	last     *committed
+
+	failArmed     bool
+	failCountdown int
+
+	steps uint64
+}
+
+// New builds a job from the config: one rank per ID with a generated
+// SPMD script, a fresh network, and the configured triggers armed.
+func New(cfg Config) *Coordinator {
+	if cfg.Ranks <= 0 {
+		panic("coordinator: config needs at least one rank")
+	}
+	cfg.Workload.Ranks = cfg.Ranks
+	c := &Coordinator{
+		cfg:      cfg,
+		net:      netsim.New(cfg.Net),
+		rng:      vtime.NewRNG(cfg.Seed),
+		triggers: append([]Trigger(nil), cfg.Triggers...),
+		fired:    make([]bool, len(cfg.Triggers)),
+	}
+	for id := 0; id < cfg.Ranks; id++ {
+		var script []rank.Op
+		if cfg.ScriptFor != nil {
+			script = cfg.ScriptFor(id)
+		} else {
+			script = rank.GenerateScript(id, cfg.Workload)
+		}
+		c.ranks = append(c.ranks, rank.New(id, cfg.Personality, script))
+	}
+	return c
+}
+
+// Ranks returns the simulated ranks.
+func (c *Coordinator) Ranks() []*rank.Rank { return c.ranks }
+
+// Net returns the simulated interconnect.
+func (c *Coordinator) Net() *netsim.Network { return c.net }
+
+// Records returns the committed checkpoint records.
+func (c *Coordinator) Records() []CheckpointRecord { return c.records }
+
+// Restarts returns the restart records.
+func (c *Coordinator) Restarts() []RestartRecord { return c.restarts }
+
+// Steps returns the number of scheduler iterations executed.
+func (c *Coordinator) Steps() uint64 { return c.steps }
+
+// MaxClock returns the maximum rank clock — the job's virtual makespan so
+// far.
+func (c *Coordinator) MaxClock() vtime.Time {
+	var max vtime.Time
+	for _, r := range c.ranks {
+		if t := r.Clock().Now(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+func (c *Coordinator) nonDone() int {
+	n := 0
+	for _, r := range c.ranks {
+		if r.State() != rank.Done {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Coordinator) inCollective() int {
+	n := 0
+	for _, r := range c.ranks {
+		if r.State() == rank.InCollective {
+			n++
+		}
+	}
+	return n
+}
+
+// collectiveInProgress reports whether any rank is inside a collective.
+func (c *Coordinator) collectiveInProgress() bool { return c.inCollective() > 0 }
+
+// atSafePoint reports whether a checkpoint may proceed: no rank is inside
+// a collective (paper §3.2 — a checkpoint either completes the collective
+// first or sits out until it has).
+func (c *Coordinator) atSafePoint() bool { return !c.collectiveInProgress() }
+
+func (c *Coordinator) allDone() bool { return c.nonDone() == 0 }
+
+// fireTriggers converts due triggers into pending checkpoint requests.
+func (c *Coordinator) fireTriggers() {
+	now := c.MaxClock()
+	for i, t := range c.triggers {
+		if c.fired[i] {
+			continue
+		}
+		due := false
+		switch {
+		case t.MidCollective:
+			in := c.inCollective()
+			due = now >= t.At && in > 0 && in < c.nonDone()
+		case t.InFlight:
+			due = now >= t.At && c.net.InFlight() > 0
+		default:
+			due = now >= t.At
+		}
+		if due {
+			c.fired[i] = true
+			c.pending = append(c.pending, request{at: now, midCollective: c.collectiveInProgress()})
+		}
+	}
+}
+
+// tryCompleteCollective finishes the forming collective once every
+// non-done rank has arrived: completion time is the latest arrival stamp
+// plus the modelled collective cost, and every participant advances to
+// it.
+func (c *Coordinator) tryCompleteCollective() bool {
+	n := len(c.collStamps)
+	if n == 0 || n < c.nonDone() {
+		return false
+	}
+	latest := vtime.MaxStamp(c.collStamps)
+	completion := latest.When.Add(c.cfg.Net.CollectiveCost(c.collKind, n, c.collBytes))
+	for _, r := range c.ranks {
+		if r.State() == rank.InCollective {
+			r.FinishCollective(completion)
+		}
+	}
+	c.collStamps = nil
+	return true
+}
+
+// step executes one deterministic scheduler iteration: complete a ready
+// collective, then let each runnable rank execute its next operation.
+// Triggers are re-checked after every rank action — the coordinator is
+// asynchronous in the real system — so a request can land between one
+// rank's send and the matching receive (leaving messages in flight for
+// the drain phase) or right after a rank arrives at a collective (the
+// deferral path). As soon as a request is pending, ranks hold at their
+// call boundary — unless a collective is in progress, in which case all
+// ranks keep executing until it completes (§3.2).
+func (c *Coordinator) step() bool {
+	c.steps++
+	progress := c.tryCompleteCollective()
+	for _, r := range c.ranks {
+		if len(c.pending) > 0 && !c.collectiveInProgress() {
+			break
+		}
+		if r.State() != rank.Running {
+			continue
+		}
+		op := r.Op()
+		switch op.Kind {
+		case rank.OpCompute:
+			r.DoCompute(op)
+			progress = true
+		case rank.OpSend:
+			r.DoSend(c.net, op)
+			progress = true
+		case rank.OpRecv:
+			if r.TryRecv(c.net, op) {
+				progress = true
+			}
+		case rank.OpBarrier, rank.OpAllreduce:
+			kind := netsim.Barrier
+			if op.Kind == rank.OpAllreduce {
+				kind = netsim.Allreduce
+			}
+			if len(c.collStamps) > 0 && kind != c.collKind {
+				panic(fmt.Sprintf("coordinator: rank %d arrived at %v while %v is forming (non-SPMD script)",
+					r.ID(), kind, c.collKind))
+			}
+			c.collKind = kind
+			c.collBytes = op.Bytes
+			c.collStamps = append(c.collStamps, r.ArriveAtCollective())
+			progress = true
+		case rank.OpSbrk:
+			r.DoSbrk(op)
+			progress = true
+		}
+		c.fireTriggers()
+	}
+	if c.tryCompleteCollective() {
+		progress = true
+	}
+	return progress
+}
+
+// drain runs phase 1's message drain: every in-flight message is received
+// into its destination rank's buffer, with probe and copy costs charged
+// to the checkpoint-overhead accounts, until the per-pair counters agree
+// the network is quiescent.
+func (c *Coordinator) drain(rec *CheckpointRecord) error {
+	for rounds := 0; c.net.InFlight() > 0; rounds++ {
+		if rounds > c.cfg.Ranks+1 {
+			return fmt.Errorf("coordinator: drain did not converge, %d messages still in flight", c.net.InFlight())
+		}
+		for _, r := range c.ranks {
+			// One counter-comparison probe per peer that has ever sent
+			// to this rank.
+			r.ChargeCkptOverhead(vtime.Duration(c.net.PeersTo(r.ID())) * r.Kernel().DrainProbeCost())
+			for _, m := range c.net.DrainTo(r.ID()) {
+				r.BufferDrained(m)
+				r.ChargeCkptOverhead(r.Kernel().DrainBufferCost(m.Bytes))
+				rec.DrainedMsgs++
+				rec.DrainedBytes += m.Bytes
+			}
+		}
+	}
+	return nil
+}
+
+// checkpoint services the oldest pending request with the two-phase
+// protocol. The caller guarantees the job is at a safe point.
+func (c *Coordinator) checkpoint() error {
+	req := c.pending[0]
+	c.pending = c.pending[1:]
+	rec := CheckpointRecord{
+		Seq:           len(c.records) + 1,
+		RequestedAt:   req.at,
+		MidCollective: req.midCollective,
+	}
+
+	// Phase 1: deliver the intent signal, then drain the network.
+	for _, r := range c.ranks {
+		r.ChargeCkptOverhead(r.Kernel().CheckpointSignalCost())
+	}
+	if err := c.drain(&rec); err != nil {
+		return err
+	}
+	if got := c.net.InFlight(); got != 0 {
+		return fmt.Errorf("coordinator: %d messages in flight after drain", got)
+	}
+	rec.SafeAt = c.MaxClock()
+	rec.DeferredFor = rec.SafeAt.Sub(rec.RequestedAt)
+
+	// Phase 2: capture and "write" every rank's image.
+	images := make([]rank.Image, len(c.ranks))
+	h := fnv.New64a()
+	for i, r := range c.ranks {
+		img := r.CaptureImage()
+		writeTime := ioTime(img.Bytes(), c.cfg.CkptWriteBandwidth)
+		if c.cfg.StragglerP > 0 {
+			writeTime = vtime.Duration(float64(writeTime) * c.rng.Straggler(c.cfg.StragglerP, c.cfg.StragglerMax))
+		}
+		r.ChargeCkptOverhead(writeTime)
+		if writeTime > rec.MaxWriteTime {
+			rec.MaxWriteTime = writeTime
+		}
+		rec.ImageBytes += img.Bytes()
+		fmt.Fprintf(h, "%d:%d:%d:%x:%+v;", img.RankID, img.PC, img.Clock, img.Mem.Fingerprint(), img.Stats)
+		for _, m := range img.Inbox {
+			fmt.Fprintf(h, "in(%d,%d,%d,%d,%d);", m.Src, m.Dst, m.Tag, m.Bytes, m.Arrive)
+		}
+		images[i] = img
+	}
+	rec.Fingerprint = h.Sum64()
+	c.last = &committed{seq: rec.Seq, images: images, counters: c.net.CountersSnapshot()}
+	c.records = append(c.records, rec)
+
+	if c.cfg.FailAtCheckpoint == rec.Seq {
+		c.failArmed = true
+		c.failCountdown = c.cfg.FailDelaySteps
+	}
+	return nil
+}
+
+// Run drives the scheduler until the job completes or the configured
+// failure injection fires. It may be called again after Restart.
+func (c *Coordinator) Run() (Outcome, error) {
+	for {
+		c.fireTriggers()
+		for len(c.pending) > 0 && c.atSafePoint() {
+			if err := c.checkpoint(); err != nil {
+				return Failed, err
+			}
+		}
+		if c.failArmed {
+			if c.failCountdown <= 0 {
+				c.failArmed = false
+				return Failed, nil
+			}
+			c.failCountdown--
+		}
+		if c.allDone() {
+			if got := c.net.InFlight(); got != 0 {
+				return Failed, fmt.Errorf("coordinator: job done with %d unreceived messages", got)
+			}
+			return Completed, nil
+		}
+		if !c.step() {
+			return Failed, fmt.Errorf("coordinator: no progress (deadlock) at step %d, %d in flight, %d in collective",
+				c.steps, c.net.InFlight(), c.inCollective())
+		}
+	}
+}
+
+// Restart rebuilds the job from the last committed checkpoint: every
+// rank discards its lower half, bootstraps a fresh one, replays the
+// saved upper-half region map and resumes its clock, program counter and
+// drained-message buffer; the network counters are restored and its
+// queues cleared (the image was taken on a quiescent network).
+func (c *Coordinator) Restart() error {
+	if c.last == nil {
+		return fmt.Errorf("coordinator: no committed checkpoint to restart from")
+	}
+	for i, r := range c.ranks {
+		img := c.last.images[i]
+		readTime := ioTime(img.Bytes(), c.cfg.CkptReadBandwidth)
+		r.Restore(img)
+		r.ChargeCkptOverhead(r.Kernel().RestartReinitCost() + readTime)
+	}
+	c.net.Restore(c.last.counters)
+	c.collStamps = nil
+	// Checkpoint requests fired in the abandoned timeline die with it: a
+	// request references scheduler state (clocks, collective progress)
+	// that no longer exists after the rollback. The triggers themselves
+	// stay consumed — they described the dead epoch.
+	c.pending = nil
+	c.failArmed = false
+	c.restarts = append(c.restarts, RestartRecord{FromSeq: c.last.seq, ResumeClock: c.MaxClock()})
+	return nil
+}
+
+// ioTime converts an image payload and a filesystem bandwidth into a
+// virtual duration, treating non-positive bandwidth as free I/O.
+func ioTime(bytes uint64, bandwidth float64) vtime.Duration {
+	if bandwidth <= 0 {
+		return 0
+	}
+	return vtime.DurationOf(float64(bytes) / bandwidth)
+}
+
+// FinalFingerprint digests every rank's final clock and upper-half
+// memory, so two runs can be compared for bit-identical results.
+func (c *Coordinator) FinalFingerprint() uint64 {
+	h := fnv.New64a()
+	for _, r := range c.ranks {
+		snap := r.Mem().SnapshotUpperHalf()
+		fmt.Fprintf(h, "%d:%d:%x;", r.ID(), r.Clock().Now(), snap.Fingerprint())
+	}
+	return h.Sum64()
+}
+
+// Report renders a deterministic plain-text summary of the run: per-rank
+// virtual times and accounting, per-checkpoint protocol records, and the
+// final fingerprint. Two identical runs produce byte-identical reports.
+func (c *Coordinator) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "manasim: %d ranks, kernel=%v, seed=%d\n",
+		c.cfg.Ranks, c.cfg.Personality, c.cfg.Seed)
+	fmt.Fprintf(&b, "job: makespan=%v, scheduler steps=%d, messages sent=%d\n",
+		c.MaxClock(), c.steps, c.net.TotalSent())
+
+	fmt.Fprintf(&b, "\nranks:\n")
+	fmt.Fprintf(&b, "  %4s %16s %10s %6s %6s %6s %14s %14s\n",
+		"rank", "vtime", "mpi-calls", "sent", "recvd", "coll", "mana-overhead", "ckpt-overhead")
+	for _, r := range c.ranks {
+		st := r.Stats()
+		fmt.Fprintf(&b, "  %4d %16v %10d %6d %6d %6d %14v %14v\n",
+			r.ID(), r.Clock().Now(), st.MPICalls, st.MsgsSent, st.MsgsRecvd,
+			st.Collectives, st.ManaOverhead, r.CkptOverhead())
+	}
+
+	fmt.Fprintf(&b, "\ncheckpoints: %d committed\n", len(c.records))
+	for _, rec := range c.records {
+		fmt.Fprintf(&b, "  #%d requested@%v mid-collective=%v deferred=%v safe@%v\n",
+			rec.Seq, rec.RequestedAt, rec.MidCollective, rec.DeferredFor, rec.SafeAt)
+		fmt.Fprintf(&b, "     drained %d msgs (%d bytes), image %d bytes, slowest write %v, fp=%016x\n",
+			rec.DrainedMsgs, rec.DrainedBytes, rec.ImageBytes, rec.MaxWriteTime, rec.Fingerprint)
+	}
+
+	if len(c.restarts) > 0 {
+		fmt.Fprintf(&b, "\nrestarts: %d\n", len(c.restarts))
+		for _, rs := range c.restarts {
+			fmt.Fprintf(&b, "  restored from checkpoint #%d, resumed at vtime %v\n", rs.FromSeq, rs.ResumeClock)
+		}
+	}
+
+	mem := c.memorySummary()
+	fmt.Fprintf(&b, "\nmemory (rank 0): upper=%d bytes, lower=%d bytes\n", mem[0], mem[1])
+	fmt.Fprintf(&b, "final fingerprint: %016x\n", c.FinalFingerprint())
+	return b.String()
+}
+
+func (c *Coordinator) memorySummary() [2]uint64 {
+	r := c.ranks[0]
+	return [2]uint64{
+		r.Mem().BytesOf(memsim.UpperHalf),
+		r.Mem().BytesOf(memsim.LowerHalf),
+	}
+}
+
+// SortedPairs returns the network's counter pairs in deterministic order,
+// for report and test consumption.
+func SortedPairs(counters netsim.Counters) []netsim.Pair {
+	pairs := make([]netsim.Pair, 0, len(counters))
+	for p := range counters {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Src != pairs[j].Src {
+			return pairs[i].Src < pairs[j].Src
+		}
+		return pairs[i].Dst < pairs[j].Dst
+	})
+	return pairs
+}

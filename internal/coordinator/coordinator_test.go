@@ -1,0 +1,409 @@
+package coordinator
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"mana/internal/kernelsim"
+	"mana/internal/netsim"
+	"mana/internal/rank"
+	"mana/internal/vtime"
+)
+
+func smallConfig(ranks, steps int) Config {
+	cfg := DefaultConfig()
+	cfg.Ranks = ranks
+	cfg.Workload = rank.DefaultWorkload(ranks, steps, 7)
+	cfg.Seed = 7
+	return cfg
+}
+
+// TestDrainReachesZeroBeforeSnapshot stages a checkpoint request while a
+// message is in flight and verifies the two-phase protocol buffers it at
+// the receiver — leaving the network quiescent before any image is taken
+// — and that the buffered message still reaches the application.
+func TestDrainReachesZeroBeforeSnapshot(t *testing.T) {
+	cfg := smallConfig(2, 0)
+	cfg.StragglerP = 0
+	cfg.Triggers = []Trigger{{At: 0, InFlight: true}}
+	cfg.ScriptFor = func(id int) []rank.Op {
+		if id == 0 {
+			return []rank.Op{{Kind: rank.OpSend, Peer: 1, Bytes: 4096, Tag: 1}}
+		}
+		return []rank.Op{
+			{Kind: rank.OpCompute, Dur: 1 * vtime.Millisecond},
+			{Kind: rank.OpRecv, Peer: 0, Tag: 1},
+		}
+	}
+	c := New(cfg)
+	outcome, err := c.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if outcome != Completed {
+		t.Fatalf("outcome = %v, want completed", outcome)
+	}
+	recs := c.Records()
+	if len(recs) != 1 {
+		t.Fatalf("checkpoints = %d, want 1", len(recs))
+	}
+	if recs[0].DrainedMsgs != 1 || recs[0].DrainedBytes != 4096 {
+		t.Errorf("drained %d msgs / %d bytes, want 1 / 4096 — the in-flight message must be buffered",
+			recs[0].DrainedMsgs, recs[0].DrainedBytes)
+	}
+	if got := c.Net().InFlight(); got != 0 {
+		t.Errorf("in-flight after run = %d, want 0", got)
+	}
+	if got := c.Ranks()[1].Stats().MsgsRecvd; got != 1 {
+		t.Errorf("receiver consumed %d messages, want 1 (drained message must reach the app)", got)
+	}
+	// The drained message is part of the image: restarting from it must
+	// still deliver the message exactly once.
+	if err := c.Restart(); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	if got := c.Ranks()[1].InboxLen(); got != 1 {
+		t.Fatalf("restored inbox = %d messages, want 1", got)
+	}
+	outcome, err = c.Run()
+	if err != nil || outcome != Completed {
+		t.Fatalf("post-restart run = %v, %v", outcome, err)
+	}
+	if got := c.Ranks()[1].Stats().MsgsRecvd; got != 1 {
+		t.Errorf("after replay receiver consumed %d messages, want exactly 1", got)
+	}
+}
+
+// TestMidCollectiveCheckpointDeferred requests a checkpoint while an
+// allreduce is partially arrived and verifies the protocol defers the
+// checkpoint until the collective completes.
+func TestMidCollectiveCheckpointDeferred(t *testing.T) {
+	cfg := smallConfig(4, 0)
+	cfg.StragglerP = 0
+	cfg.Triggers = []Trigger{{At: 0, MidCollective: true}}
+	cfg.ScriptFor = func(id int) []rank.Op {
+		return []rank.Op{
+			// Skewed compute so ranks arrive at the collective at
+			// different times.
+			{Kind: rank.OpCompute, Dur: vtime.Duration(id+1) * vtime.Millisecond},
+			{Kind: rank.OpAllreduce, Bytes: 8192},
+			{Kind: rank.OpCompute, Dur: 1 * vtime.Millisecond},
+		}
+	}
+	c := New(cfg)
+	outcome, err := c.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if outcome != Completed {
+		t.Fatalf("outcome = %v, want completed", outcome)
+	}
+	recs := c.Records()
+	if len(recs) != 1 {
+		t.Fatalf("checkpoints = %d, want 1", len(recs))
+	}
+	rec := recs[0]
+	if !rec.MidCollective {
+		t.Error("record not marked mid-collective")
+	}
+	if rec.DeferredFor <= 0 {
+		t.Errorf("DeferredFor = %v, want > 0 (checkpoint must wait out the allreduce)", rec.DeferredFor)
+	}
+	// Every rank must have completed the collective before its image was
+	// taken: the image PCs must all be past the allreduce op.
+	if err := c.Restart(); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	for _, r := range c.Ranks() {
+		if r.PC() < 2 {
+			t.Errorf("rank %d image pc = %d, want >= 2 (past the collective)", r.ID(), r.PC())
+		}
+		if r.Stats().Collectives != 1 {
+			t.Errorf("rank %d image collectives = %d, want 1", r.ID(), r.Stats().Collectives)
+		}
+	}
+}
+
+// TestCheckpointAtSafePointImmediate verifies a request that arrives with
+// no collective in progress is serviced without deferral.
+func TestCheckpointAtSafePointImmediate(t *testing.T) {
+	cfg := smallConfig(4, 6)
+	cfg.Triggers = []Trigger{{At: 0}}
+	c := New(cfg)
+	if _, err := c.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	recs := c.Records()
+	if len(recs) != 1 {
+		t.Fatalf("checkpoints = %d, want 1", len(recs))
+	}
+	if recs[0].MidCollective {
+		t.Error("request at t=0 cannot be mid-collective")
+	}
+	if recs[0].DeferredFor != 0 {
+		t.Errorf("DeferredFor = %v, want 0", recs[0].DeferredFor)
+	}
+}
+
+// TestRestartBitIdenticalToUncheckpointedRun is the paper's core
+// transparency claim, pinned down: checkpoint twice (once mid-collective),
+// fail, restart from the last image, run to completion — and end with
+// exactly the virtual times, stats and memory contents of a run that
+// never checkpointed at all.
+func TestRestartBitIdenticalToUncheckpointedRun(t *testing.T) {
+	base := smallConfig(8, 12)
+
+	withCkpt := base
+	withCkpt.Triggers = []Trigger{
+		{At: vtime.Time(1 * vtime.Millisecond)},
+		{At: vtime.Time(1 * vtime.Millisecond), MidCollective: true},
+	}
+	withCkpt.FailAtCheckpoint = 2
+	withCkpt.FailDelaySteps = 10
+
+	c := New(withCkpt)
+	outcome, err := c.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if outcome != Failed {
+		t.Fatalf("outcome = %v, want failed (failure injection armed)", outcome)
+	}
+	if len(c.Records()) != 2 {
+		t.Fatalf("checkpoints before failure = %d, want 2", len(c.Records()))
+	}
+	if !c.Records()[1].MidCollective {
+		t.Error("second checkpoint should have been requested mid-collective")
+	}
+	if err := c.Restart(); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	outcome, err = c.Run()
+	if err != nil || outcome != Completed {
+		t.Fatalf("post-restart run = %v, %v", outcome, err)
+	}
+
+	plain := New(base)
+	outcome, err = plain.Run()
+	if err != nil || outcome != Completed {
+		t.Fatalf("uncheckpointed run = %v, %v", outcome, err)
+	}
+
+	for i := range plain.Ranks() {
+		pr, cr := plain.Ranks()[i], c.Ranks()[i]
+		if pt, ct := pr.Clock().Now(), cr.Clock().Now(); pt != ct {
+			t.Errorf("rank %d final vtime: uncheckpointed %v vs restarted %v", i, pt, ct)
+		}
+		if ps, cs := pr.Stats(), cr.Stats(); ps != cs {
+			t.Errorf("rank %d stats diverge:\n  uncheckpointed %+v\n  restarted      %+v", i, ps, cs)
+		}
+	}
+	if pf, cf := plain.FinalFingerprint(), c.FinalFingerprint(); pf != cf {
+		t.Errorf("final fingerprints diverge: %016x vs %016x", pf, cf)
+	}
+}
+
+// TestReportByteIdentical runs the full fail-and-restart scenario twice
+// and requires byte-identical reports.
+func TestReportByteIdentical(t *testing.T) {
+	run := func() string {
+		cfg := smallConfig(8, 12)
+		cfg.Triggers = []Trigger{
+			{At: vtime.Time(1 * vtime.Millisecond)},
+			{At: vtime.Time(1 * vtime.Millisecond), InFlight: true},
+			{At: vtime.Time(1 * vtime.Millisecond), MidCollective: true},
+		}
+		cfg.FailAtCheckpoint = 3
+		cfg.FailDelaySteps = 10
+		c := New(cfg)
+		outcome, err := c.Run()
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		for outcome == Failed {
+			if err := c.Restart(); err != nil {
+				t.Fatalf("Restart: %v", err)
+			}
+			if outcome, err = c.Run(); err != nil {
+				t.Fatalf("re-Run: %v", err)
+			}
+		}
+		return c.Report()
+	}
+	r1, r2 := run(), run()
+	if r1 != r2 {
+		t.Errorf("reports differ between identical runs:\n--- run 1\n%s\n--- run 2\n%s", r1, r2)
+	}
+	if !strings.Contains(r1, "restarts: 1") {
+		t.Errorf("report missing restart section:\n%s", r1)
+	}
+	if !strings.Contains(r1, "mid-collective=true") {
+		t.Errorf("report missing mid-collective checkpoint:\n%s", r1)
+	}
+}
+
+// TestRestartDiscardsPendingRequests pins down a rollback subtlety: a
+// checkpoint request fired in the pre-failure timeline must die with
+// that timeline. The failure lands while a collective is still in
+// progress (so the request is pending, not yet serviced); after restart
+// the stale request must not produce a spurious checkpoint.
+func TestRestartDiscardsPendingRequests(t *testing.T) {
+	cfg := smallConfig(4, 0)
+	cfg.StragglerP = 0
+	cfg.Triggers = []Trigger{
+		{At: 0},
+		// Fires mid-collective during the failure countdown; ranks must
+		// finish the collective before it can be serviced, and the
+		// failure hits first (skewed compute keeps rank 3 away from the
+		// collective for many scheduler iterations).
+		{At: 0, MidCollective: true},
+	}
+	cfg.FailAtCheckpoint = 1
+	cfg.FailDelaySteps = 2
+	cfg.ScriptFor = func(id int) []rank.Op {
+		// Rank 3 blocks on a receive that rank 0 only satisfies an
+		// iteration later, so ranks 1 and 2 sit inside the allreduce —
+		// partially arrived — when the failure countdown expires.
+		switch id {
+		case 0:
+			return []rank.Op{
+				{Kind: rank.OpCompute, Dur: 1 * vtime.Millisecond},
+				{Kind: rank.OpSend, Peer: 3, Bytes: 1024},
+				{Kind: rank.OpAllreduce, Bytes: 1024},
+			}
+		case 3:
+			return []rank.Op{
+				{Kind: rank.OpRecv, Peer: 0},
+				{Kind: rank.OpAllreduce, Bytes: 1024},
+			}
+		default:
+			return []rank.Op{
+				{Kind: rank.OpCompute, Dur: 1 * vtime.Millisecond},
+				{Kind: rank.OpAllreduce, Bytes: 1024},
+			}
+		}
+	}
+	c := New(cfg)
+	outcome, err := c.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if outcome != Failed {
+		t.Fatalf("outcome = %v, want failed", outcome)
+	}
+	if len(c.pending) == 0 {
+		t.Fatal("test setup: expected a pending request at failure time " +
+			"(mid-collective trigger should have fired during the countdown)")
+	}
+	if err := c.Restart(); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	outcome, err = c.Run()
+	if err != nil || outcome != Completed {
+		t.Fatalf("post-restart run = %v, %v", outcome, err)
+	}
+	if got := len(c.Records()); got != 1 {
+		t.Errorf("checkpoints = %d, want 1: the abandoned timeline's pending request must not commit", got)
+	}
+	for _, rec := range c.Records() {
+		if rec.DeferredFor < 0 {
+			t.Errorf("checkpoint #%d has negative deferral %v", rec.Seq, rec.DeferredFor)
+		}
+	}
+}
+
+// TestRestartWithoutCheckpointFails covers the error path.
+func TestRestartWithoutCheckpointFails(t *testing.T) {
+	c := New(smallConfig(2, 2))
+	if err := c.Restart(); err == nil {
+		t.Error("Restart with no committed checkpoint should fail")
+	}
+}
+
+// TestConcurrentClockObserversRaceClean reads rank clocks from a helper
+// goroutine while the scheduler runs, mirroring MANA's checkpoint helper
+// thread; under -race this pins down the locking contract.
+func TestConcurrentClockObserversRaceClean(t *testing.T) {
+	cfg := smallConfig(4, 10)
+	cfg.Triggers = []Trigger{{At: vtime.Time(500 * vtime.Microsecond)}}
+	c := New(cfg)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				for _, r := range c.Ranks() {
+					_ = r.Clock().Now()
+				}
+				_ = c.Net().InFlight()
+			}
+		}
+	}()
+	if _, err := c.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	close(done)
+	wg.Wait()
+}
+
+// TestSortedPairsDeterministic covers the report helper.
+func TestSortedPairsDeterministic(t *testing.T) {
+	counters := netsim.Counters{
+		{Src: 2, Dst: 0}: {Sent: 1},
+		{Src: 0, Dst: 1}: {Sent: 1},
+		{Src: 0, Dst: 0}: {Sent: 1},
+	}
+	pairs := SortedPairs(counters)
+	want := []netsim.Pair{{Src: 0, Dst: 0}, {Src: 0, Dst: 1}, {Src: 2, Dst: 0}}
+	for i := range want {
+		if pairs[i] != want[i] {
+			t.Fatalf("pairs[%d] = %+v, want %+v", i, pairs[i], want[i])
+		}
+	}
+}
+
+// TestKernelPersonalityAffectsOverheadNotResults verifies the two kernel
+// personalities produce different MANA overhead but identical message
+// counts — the cost model changes timing, not behaviour.
+func TestKernelPersonalityAffectsOverheadNotResults(t *testing.T) {
+	mk := func(p kernelsim.Personality) *Coordinator {
+		cfg := smallConfig(4, 8)
+		cfg.Personality = p
+		c := New(cfg)
+		if _, err := c.Run(); err != nil {
+			t.Fatalf("Run(%v): %v", p, err)
+		}
+		return c
+	}
+	unp := mk(kernelsim.Unpatched)
+	pat := mk(kernelsim.Patched)
+	for i := range unp.Ranks() {
+		u, p := unp.Ranks()[i].Stats(), pat.Ranks()[i].Stats()
+		if u.ManaOverhead <= p.ManaOverhead {
+			t.Errorf("rank %d: unpatched overhead %v should exceed patched %v", i, u.ManaOverhead, p.ManaOverhead)
+		}
+		if u.MsgsSent != p.MsgsSent || u.Collectives != p.Collectives {
+			t.Errorf("rank %d: personalities changed behaviour: %+v vs %+v", i, u, p)
+		}
+	}
+}
+
+// BenchmarkRun measures the scheduler + checkpoint engine end to end; the
+// Makefile's bench target tracks this as the hot path for future scaling
+// work.
+func BenchmarkRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := smallConfig(8, 12)
+		cfg.Triggers = []Trigger{{At: vtime.Time(1 * vtime.Millisecond)}}
+		c := New(cfg)
+		if _, err := c.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

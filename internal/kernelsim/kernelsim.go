@@ -69,6 +69,21 @@ const (
 	// syscallBaseCost is the generic cost of an uninteresting system call
 	// (used for sbrk/mmap accounting).
 	syscallBaseCost = 250 * vtime.Nanosecond
+	// checkpointSignalCost is the cost of delivering the coordinator's
+	// checkpoint-intent signal to one rank: a signal delivery plus the
+	// helper thread waking and inspecting rank state.
+	checkpointSignalCost = 3 * vtime.Microsecond
+	// drainProbeCost is one iteration of the draining algorithm's probe
+	// loop: comparing per-peer send/receive counters and, if a message is
+	// outstanding, posting the receive that buffers it (§3.1).
+	drainProbeCost = 500 * vtime.Nanosecond
+	// drainBufferPerByteCost is the per-byte cost of copying one in-flight
+	// message into the checkpoint-time drain buffer.
+	drainBufferPerByteCost = vtime.Duration(1) // ~1 GB/s memcpy into the buffer
+	// restartReinitCost is the fixed cost, per rank, of discarding the old
+	// lower half and bootstrapping a fresh one on restart: loading the MPI
+	// and network libraries and re-running MPI_Init (§3.2).
+	restartReinitCost = 180 * vtime.Millisecond
 )
 
 // Kernel is the cost model for one node's kernel.
@@ -131,6 +146,31 @@ func (k *Kernel) MANAPerCallOverhead(nHandles int, recorded bool) vtime.Duration
 		d += recordMetadataCost
 	}
 	return d
+}
+
+// CheckpointSignalCost returns the cost of delivering the coordinator's
+// checkpoint-intent signal to this rank and waking its helper thread.
+func (k *Kernel) CheckpointSignalCost() vtime.Duration {
+	return checkpointSignalCost
+}
+
+// DrainProbeCost returns the cost of one iteration of the drain loop:
+// comparing send/receive counters against one peer.
+func (k *Kernel) DrainProbeCost() vtime.Duration {
+	return drainProbeCost
+}
+
+// DrainBufferCost returns the cost of copying one in-flight message of
+// the given size into the drain buffer. The probe that discovered the
+// message is charged separately (one DrainProbeCost per peer).
+func (k *Kernel) DrainBufferCost(bytes uint64) vtime.Duration {
+	return vtime.Duration(bytes) * drainBufferPerByteCost
+}
+
+// RestartReinitCost returns the per-rank cost of rebuilding the lower
+// half on restart (bootstrap load + fresh MPI_Init).
+func (k *Kernel) RestartReinitCost() vtime.Duration {
+	return restartReinitCost
 }
 
 // SbrkBehavior describes what the (real) kernel would do on an sbrk call in

@@ -16,7 +16,9 @@
 package memsim
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 )
@@ -435,6 +437,33 @@ func (s Snapshot) TotalBytes() uint64 {
 		total += r.Size
 	}
 	return total
+}
+
+// Fingerprint returns a deterministic 64-bit digest of the snapshot:
+// region layout, tags and contents all contribute. Two snapshots are
+// Equal iff their fingerprints match (up to hash collision), so restart
+// determinism checks and simulation reports can compare images cheaply
+// without carrying full region contents around.
+func (s Snapshot) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeU64(s.Brk)
+	writeU64(uint64(len(s.Regions)))
+	for _, r := range s.Regions {
+		writeU64(uint64(len(r.Name)))
+		h.Write([]byte(r.Name))
+		writeU64(uint64(r.Half))
+		writeU64(uint64(r.Kind))
+		writeU64(r.Addr)
+		writeU64(r.Size)
+		writeU64(uint64(len(r.Data)))
+		h.Write(r.Data)
+	}
+	return h.Sum64()
 }
 
 // RestoreUpperHalf rebuilds the upper half of the address space from a

@@ -356,3 +356,48 @@ func TestPropertyWriteReadRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSnapshotFingerprintTracksEqual(t *testing.T) {
+	a := NewAddressSpace()
+	a.MmapWithData("app.state", UpperHalf, KindData, []byte{1, 2, 3})
+	a.Mmap("libmpi.so", LowerHalf, KindText, 4096)
+	s1 := a.SnapshotUpperHalf()
+	s2 := a.SnapshotUpperHalf()
+	if s1.Fingerprint() != s2.Fingerprint() {
+		t.Error("identical snapshots must fingerprint identically")
+	}
+	if err := a.Write(s1.Regions[0].Addr, 0, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	s3 := a.SnapshotUpperHalf()
+	if s1.Fingerprint() == s3.Fingerprint() {
+		t.Error("content change must change the fingerprint")
+	}
+	if s1.Equal(s3) {
+		t.Error("Equal must agree with the fingerprint")
+	}
+}
+
+func TestSnapshotIsolatedFromLiveSpace(t *testing.T) {
+	a := NewAddressSpace()
+	r := a.MmapWithData("app.state", UpperHalf, KindData, []byte{1, 2, 3, 4})
+	snap := a.SnapshotUpperHalf()
+	fp := snap.Fingerprint()
+	// Snapshots are deep copies in both directions: mutating the live
+	// space must not reach a stored image, and restoring must not alias
+	// the image's buffers into the live space.
+	if err := a.Write(r.Addr, 0, []byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Regions[0].Data[0] == 42 || snap.Fingerprint() != fp {
+		t.Error("mutating the live space leaked into a stored snapshot")
+	}
+	b := NewAddressSpace()
+	b.RestoreUpperHalf(snap)
+	if err := b.Write(snap.Regions[0].Addr, 0, []byte{99}); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Regions[0].Data[0] == 99 || snap.Fingerprint() != fp {
+		t.Error("writing a restored space leaked into the image it came from")
+	}
+}

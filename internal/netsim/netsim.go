@@ -1,0 +1,310 @@
+// Package netsim models the point-to-point interconnect of the simulated
+// MPI job in virtual time.
+//
+// The model is deliberately simple — a latency plus bandwidth-serialisation
+// cost per message — because MANA is network-agnostic: the checkpointing
+// algorithm only needs to know *when* a message becomes visible to its
+// receiver and *how many* messages are in flight between each pair of
+// ranks. Every message piggybacks the sender's virtual timestamp
+// (vtime.Stamp) so the receiver can advance causally, and the network keeps
+// the per-pair send/receive counters that the coordinator's draining
+// algorithm (paper §3.1) compares to decide when the network is quiescent.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mana/internal/vtime"
+)
+
+// Params configures the interconnect cost model.
+type Params struct {
+	// Latency is the one-way wire latency of a message of any size.
+	Latency vtime.Duration
+	// BandwidthBytesPerSec is the serialisation bandwidth; a message of
+	// size s occupies the sender for s/Bandwidth seconds before the wire
+	// latency applies.
+	BandwidthBytesPerSec float64
+}
+
+// DefaultParams resembles a commodity HPC fabric: ~1.5 us latency,
+// ~10 GB/s per-link bandwidth.
+func DefaultParams() Params {
+	return Params{
+		Latency:              1500 * vtime.Nanosecond,
+		BandwidthBytesPerSec: 10e9,
+	}
+}
+
+// SerializeCost returns the time a message of the given size occupies the
+// sender's link.
+func (p Params) SerializeCost(bytes uint64) vtime.Duration {
+	if p.BandwidthBytesPerSec <= 0 {
+		return 0
+	}
+	return vtime.DurationOf(float64(bytes) / p.BandwidthBytesPerSec)
+}
+
+// CollectiveKind identifies a modelled collective operation.
+type CollectiveKind int
+
+const (
+	Barrier CollectiveKind = iota
+	Allreduce
+)
+
+// String returns the MPI-style name of the collective.
+func (k CollectiveKind) String() string {
+	switch k {
+	case Barrier:
+		return "barrier"
+	case Allreduce:
+		return "allreduce"
+	default:
+		return "unknown"
+	}
+}
+
+// CollectiveCost returns the modelled completion cost of a collective over
+// nRanks ranks carrying bytes of payload per rank, measured from the
+// moment the last participant arrives. Both collectives use a
+// logarithmic-depth tree; allreduce additionally pays reduce+broadcast
+// serialisation.
+func (p Params) CollectiveCost(kind CollectiveKind, nRanks int, bytes uint64) vtime.Duration {
+	depth := log2ceil(nRanks)
+	cost := vtime.Duration(depth) * p.Latency
+	if kind == Allreduce {
+		cost += 2 * vtime.Duration(depth) * p.SerializeCost(bytes)
+	}
+	return cost
+}
+
+func log2ceil(n int) int {
+	d := 0
+	for v := 1; v < n; v <<= 1 {
+		d++
+	}
+	return d
+}
+
+// Message is one in-flight point-to-point message.
+type Message struct {
+	// Seq is a globally unique, monotonically increasing send sequence
+	// number; it makes drain ordering deterministic.
+	Seq uint64
+	// Src and Dst are rank IDs.
+	Src, Dst int
+	// Tag is the application-level message tag (carried for reporting).
+	Tag int
+	// Bytes is the payload size.
+	Bytes uint64
+	// Sent is the sender's piggybacked virtual timestamp at injection.
+	Sent vtime.Stamp
+	// Arrive is the virtual time at which the message is visible to the
+	// receiver: send time + serialisation + latency.
+	Arrive vtime.Time
+}
+
+// Pair identifies a directed rank pair.
+type Pair struct {
+	Src, Dst int
+}
+
+// PairCount holds the send/receive counters for one directed pair. The
+// draining algorithm is exactly "wait until Sent == Received for every
+// pair" (§3.1).
+type PairCount struct {
+	Sent     uint64
+	Received uint64
+}
+
+// Counters is a snapshot of all per-pair counters, keyed by pair. It is
+// part of the checkpoint image so that restart resumes with consistent
+// bookkeeping.
+type Counters map[Pair]PairCount
+
+// Clone returns a deep copy of the counters.
+func (c Counters) Clone() Counters {
+	out := make(Counters, len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	return out
+}
+
+// InFlight returns the total number of sent-but-not-received messages the
+// counters describe.
+func (c Counters) InFlight() uint64 {
+	var n uint64
+	for _, v := range c {
+		n += v.Sent - v.Received
+	}
+	return n
+}
+
+// Network is the simulated interconnect: per-pair FIFO queues plus the
+// send/receive counters the drain protocol uses. It is safe for concurrent
+// use, though the deterministic scheduler drives it from one goroutine.
+type Network struct {
+	params Params
+
+	mu       sync.Mutex
+	nextSeq  uint64
+	queues   map[Pair][]*Message
+	counters Counters
+}
+
+// New returns an empty network with the given parameters.
+func New(params Params) *Network {
+	return &Network{
+		params:   params,
+		queues:   make(map[Pair][]*Message),
+		counters: make(Counters),
+	}
+}
+
+// Params returns the cost-model parameters.
+func (n *Network) Params() Params { return n.params }
+
+// Send injects a message and returns it together with the duration the
+// sender's link is busy (charged to the sender's clock by the rank
+// runtime). The arrival time is computed from the piggybacked stamp.
+func (n *Network) Send(src, dst, tag int, bytes uint64, sent vtime.Stamp) (*Message, vtime.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	busy := n.params.SerializeCost(bytes)
+	n.nextSeq++
+	m := &Message{
+		Seq:    n.nextSeq,
+		Src:    src,
+		Dst:    dst,
+		Tag:    tag,
+		Bytes:  bytes,
+		Sent:   sent,
+		Arrive: sent.When.Add(busy + n.params.Latency),
+	}
+	p := Pair{Src: src, Dst: dst}
+	n.queues[p] = append(n.queues[p], m)
+	pc := n.counters[p]
+	pc.Sent++
+	n.counters[p] = pc
+	return m, busy
+}
+
+// Recv pops the oldest in-flight message from src to dst, preserving MPI's
+// per-pair non-overtaking order. It returns nil if none is in flight.
+func (n *Network) Recv(dst, src int) *Message {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p := Pair{Src: src, Dst: dst}
+	q := n.queues[p]
+	if len(q) == 0 {
+		return nil
+	}
+	m := q[0]
+	n.queues[p] = q[1:]
+	pc := n.counters[p]
+	pc.Received++
+	n.counters[p] = pc
+	return m
+}
+
+// DrainTo pops every in-flight message destined for dst, in deterministic
+// order (by source rank, then send sequence), marking each as received.
+// The coordinator calls this during the drain phase so the messages can be
+// buffered into the receiving rank's checkpoint image.
+func (n *Network) DrainTo(dst int) []*Message {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var pairs []Pair
+	for p, q := range n.queues {
+		if p.Dst == dst && len(q) > 0 {
+			pairs = append(pairs, p)
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Src < pairs[j].Src })
+	var out []*Message
+	for _, p := range pairs {
+		q := n.queues[p]
+		out = append(out, q...)
+		pc := n.counters[p]
+		pc.Received += uint64(len(q))
+		n.counters[p] = pc
+		delete(n.queues, p)
+	}
+	return out
+}
+
+// InFlight returns the total number of sent-but-not-received messages.
+func (n *Network) InFlight() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var total uint64
+	for _, q := range n.queues {
+		total += uint64(len(q))
+	}
+	return total
+}
+
+// InFlightTo returns the number of in-flight messages destined for dst.
+func (n *Network) InFlightTo(dst int) uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var total uint64
+	for p, q := range n.queues {
+		if p.Dst == dst {
+			total += uint64(len(q))
+		}
+	}
+	return total
+}
+
+// PeersTo returns the number of source ranks that have ever sent to dst.
+// The drain phase charges dst one counter-comparison probe per such peer
+// (§3.1 compares send/receive counters pairwise).
+func (n *Network) PeersTo(dst int) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	peers := 0
+	for p := range n.counters {
+		if p.Dst == dst {
+			peers++
+		}
+	}
+	return peers
+}
+
+// CountersSnapshot returns a deep copy of the per-pair counters.
+func (n *Network) CountersSnapshot() Counters {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.counters.Clone()
+}
+
+// Restore resets the network to a checkpointed state: all queues are
+// discarded (a correct checkpoint drains them to zero first) and the
+// counters are replaced by the snapshot.
+func (n *Network) Restore(c Counters) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.queues = make(map[Pair][]*Message)
+	n.counters = c.Clone()
+}
+
+// TotalSent returns the total number of messages ever sent.
+func (n *Network) TotalSent() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var total uint64
+	for _, pc := range n.counters {
+		total += pc.Sent
+	}
+	return total
+}
+
+// String summarises the network state for debugging.
+func (n *Network) String() string {
+	return fmt.Sprintf("netsim.Network{inflight=%d, sent=%d}", n.InFlight(), n.TotalSent())
+}

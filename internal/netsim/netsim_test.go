@@ -1,0 +1,171 @@
+package netsim
+
+import (
+	"testing"
+
+	"mana/internal/vtime"
+)
+
+func testParams() Params {
+	return Params{Latency: 1000 * vtime.Nanosecond, BandwidthBytesPerSec: 1e9}
+}
+
+func TestSendArrivalTime(t *testing.T) {
+	n := New(testParams())
+	stamp := vtime.Stamp{Rank: 0, When: vtime.Time(5000)}
+	m, busy := n.Send(0, 1, 7, 1000, stamp)
+	// 1000 bytes at 1 GB/s = 1 us serialisation.
+	if busy != 1000*vtime.Nanosecond {
+		t.Fatalf("busy = %v, want 1us", busy)
+	}
+	want := stamp.When.Add(busy + 1000*vtime.Nanosecond)
+	if m.Arrive != want {
+		t.Errorf("Arrive = %v, want %v", m.Arrive, want)
+	}
+	if m.Sent != stamp {
+		t.Errorf("piggybacked stamp = %+v, want %+v", m.Sent, stamp)
+	}
+	if m.Tag != 7 || m.Src != 0 || m.Dst != 1 {
+		t.Errorf("message metadata wrong: %+v", m)
+	}
+}
+
+func TestRecvFIFOPerPair(t *testing.T) {
+	n := New(testParams())
+	s := vtime.Stamp{Rank: 0, When: 0}
+	m1, _ := n.Send(0, 1, 0, 10, s)
+	m2, _ := n.Send(0, 1, 1, 10, s)
+	if got := n.Recv(1, 0); got.Seq != m1.Seq {
+		t.Errorf("first recv got seq %d, want %d (non-overtaking order)", got.Seq, m1.Seq)
+	}
+	if got := n.Recv(1, 0); got.Seq != m2.Seq {
+		t.Errorf("second recv got seq %d, want %d", got.Seq, m2.Seq)
+	}
+	if got := n.Recv(1, 0); got != nil {
+		t.Errorf("empty queue recv = %+v, want nil", got)
+	}
+}
+
+func TestCountersTrackInFlight(t *testing.T) {
+	n := New(testParams())
+	s := vtime.Stamp{Rank: 0, When: 0}
+	n.Send(0, 1, 0, 10, s)
+	n.Send(0, 1, 0, 10, s)
+	n.Send(2, 1, 0, 10, s)
+	if got := n.InFlight(); got != 3 {
+		t.Fatalf("InFlight = %d, want 3", got)
+	}
+	if got := n.InFlightTo(1); got != 3 {
+		t.Fatalf("InFlightTo(1) = %d, want 3", got)
+	}
+	n.Recv(1, 0)
+	if got := n.InFlight(); got != 2 {
+		t.Fatalf("InFlight after recv = %d, want 2", got)
+	}
+	c := n.CountersSnapshot()
+	if got := c.InFlight(); got != 2 {
+		t.Fatalf("Counters.InFlight = %d, want 2", got)
+	}
+	pc := c[Pair{Src: 0, Dst: 1}]
+	if pc.Sent != 2 || pc.Received != 1 {
+		t.Errorf("pair (0,1) = %+v, want sent=2 received=1", pc)
+	}
+}
+
+func TestDrainToEmptiesAndCounts(t *testing.T) {
+	n := New(testParams())
+	s := vtime.Stamp{Rank: 0, When: 0}
+	n.Send(3, 1, 0, 10, s)
+	n.Send(0, 1, 0, 10, s)
+	n.Send(0, 1, 1, 10, s)
+	n.Send(0, 2, 0, 10, s)
+	msgs := n.DrainTo(1)
+	if len(msgs) != 3 {
+		t.Fatalf("DrainTo(1) returned %d messages, want 3", len(msgs))
+	}
+	// Deterministic order: by source rank, then send sequence.
+	if msgs[0].Src != 0 || msgs[1].Src != 0 || msgs[2].Src != 3 {
+		t.Errorf("drain order by src = %d,%d,%d, want 0,0,3", msgs[0].Src, msgs[1].Src, msgs[2].Src)
+	}
+	if msgs[0].Seq > msgs[1].Seq {
+		t.Errorf("drain order within pair not FIFO: %d then %d", msgs[0].Seq, msgs[1].Seq)
+	}
+	if got := n.InFlightTo(1); got != 0 {
+		t.Errorf("InFlightTo(1) after drain = %d, want 0", got)
+	}
+	if got := n.InFlight(); got != 1 {
+		t.Errorf("InFlight after drain = %d, want 1 (the 0->2 message)", got)
+	}
+	if got := n.CountersSnapshot().InFlight(); got != 1 {
+		t.Errorf("counters disagree with queues after drain: %d in flight", got)
+	}
+}
+
+func TestRestoreResetsQueuesAndCounters(t *testing.T) {
+	n := New(testParams())
+	s := vtime.Stamp{Rank: 0, When: 0}
+	n.Send(0, 1, 0, 10, s)
+	n.Recv(1, 0)
+	saved := n.CountersSnapshot()
+	n.Send(0, 1, 0, 10, s)
+	n.Send(1, 0, 0, 10, s)
+	n.Restore(saved)
+	if got := n.InFlight(); got != 0 {
+		t.Errorf("InFlight after restore = %d, want 0", got)
+	}
+	if got := n.TotalSent(); got != 1 {
+		t.Errorf("TotalSent after restore = %d, want 1", got)
+	}
+	// The snapshot must be isolated from later mutation of the network.
+	n.Send(0, 1, 0, 10, s)
+	if got := saved[Pair{Src: 0, Dst: 1}].Sent; got != 1 {
+		t.Errorf("saved counters mutated by later sends: sent=%d, want 1", got)
+	}
+}
+
+func TestPeersTo(t *testing.T) {
+	n := New(testParams())
+	s := vtime.Stamp{Rank: 0, When: 0}
+	if got := n.PeersTo(1); got != 0 {
+		t.Fatalf("PeersTo on empty network = %d, want 0", got)
+	}
+	n.Send(0, 1, 0, 10, s)
+	n.Send(0, 1, 0, 10, s)
+	n.Send(2, 1, 0, 10, s)
+	n.Send(0, 2, 0, 10, s)
+	if got := n.PeersTo(1); got != 2 {
+		t.Errorf("PeersTo(1) = %d, want 2 (ranks 0 and 2 have history)", got)
+	}
+	// History persists after the queues empty: counters, not queues,
+	// drive the drain probes.
+	n.DrainTo(1)
+	if got := n.PeersTo(1); got != 2 {
+		t.Errorf("PeersTo(1) after drain = %d, want 2", got)
+	}
+}
+
+func TestCollectiveCost(t *testing.T) {
+	p := testParams()
+	if got := p.CollectiveCost(Barrier, 1, 0); got != 0 {
+		t.Errorf("1-rank barrier cost = %v, want 0", got)
+	}
+	b8 := p.CollectiveCost(Barrier, 8, 0)
+	if got := 3 * p.Latency; b8 != got {
+		t.Errorf("8-rank barrier = %v, want %v (log2 depth 3)", b8, got)
+	}
+	a8 := p.CollectiveCost(Allreduce, 8, 1000)
+	if a8 <= b8 {
+		t.Errorf("allreduce (%v) should cost more than barrier (%v)", a8, b8)
+	}
+	// Non-power-of-two rank counts round the tree depth up.
+	if got, want := p.CollectiveCost(Barrier, 9, 0), 4*p.Latency; got != want {
+		t.Errorf("9-rank barrier = %v, want %v", got, want)
+	}
+}
+
+func TestSerializeCostZeroBandwidth(t *testing.T) {
+	p := Params{Latency: 0, BandwidthBytesPerSec: 0}
+	if got := p.SerializeCost(1 << 20); got != 0 {
+		t.Errorf("zero-bandwidth serialize cost = %v, want 0", got)
+	}
+}

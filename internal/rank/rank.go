@@ -1,0 +1,427 @@
+// Package rank implements the simulated MPI rank: the unit of execution
+// the checkpoint coordinator manages.
+//
+// A Rank owns exactly the state a real MANA-wrapped MPI process owns: a
+// virtual clock (vtime.Clock), a split-process address space
+// (memsim.AddressSpace) and a kernel cost personality (kernelsim.Kernel).
+// It executes a scripted workload — compute phases, point-to-point sends
+// and receives, barriers and allreduces, heap growth — and charges the
+// MANA per-call overhead (FS-register round trip + handle-virtualisation
+// lookups + record/replay metadata, paper §3.3) on every MPI call.
+//
+// The rank does not schedule itself: the coordinator's deterministic
+// scheduler drives it one operation at a time, because collectives and
+// checkpoints need a global view. The rank exposes exactly the state
+// transitions the scheduler and the two-phase checkpoint protocol need.
+package rank
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mana/internal/kernelsim"
+	"mana/internal/memsim"
+	"mana/internal/netsim"
+	"mana/internal/vtime"
+)
+
+// OpKind identifies one scripted workload operation.
+type OpKind int
+
+const (
+	OpCompute OpKind = iota
+	OpSend
+	OpRecv
+	OpBarrier
+	OpAllreduce
+	OpSbrk
+)
+
+// String returns a short name for the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpCompute:
+		return "compute"
+	case OpSend:
+		return "send"
+	case OpRecv:
+		return "recv"
+	case OpBarrier:
+		return "barrier"
+	case OpAllreduce:
+		return "allreduce"
+	case OpSbrk:
+		return "sbrk"
+	default:
+		return "unknown"
+	}
+}
+
+// Op is one scripted operation. Which fields are meaningful depends on
+// Kind: Dur for compute, Peer+Bytes+Tag for send/recv, Bytes for
+// allreduce payload and sbrk growth.
+type Op struct {
+	Kind  OpKind
+	Dur   vtime.Duration
+	Peer  int
+	Bytes uint64
+	Tag   int
+}
+
+// State is the rank's scheduler-visible execution state.
+type State int
+
+const (
+	// Running means the rank is between operations and can start its next
+	// scripted op.
+	Running State = iota
+	// InCollective means the rank has arrived at a collective and is
+	// waiting for the remaining participants.
+	InCollective
+	// Done means the script is exhausted.
+	Done
+)
+
+// String returns a short name for the state.
+func (s State) String() string {
+	switch s {
+	case Running:
+		return "running"
+	case InCollective:
+		return "in-collective"
+	case Done:
+		return "done"
+	default:
+		return "unknown"
+	}
+}
+
+// Stats accumulates per-rank workload accounting. Stats are part of the
+// checkpoint image: restart restores them and re-execution of replayed
+// operations re-increments them, so post-restart totals match an
+// uncheckpointed run exactly.
+type Stats struct {
+	MPICalls     uint64
+	MsgsSent     uint64
+	MsgsRecvd    uint64
+	BytesSent    uint64
+	BytesRecvd   uint64
+	Collectives  uint64
+	ComputeTime  vtime.Duration
+	ManaOverhead vtime.Duration // per-call MANA cost charged to the clock
+}
+
+// Image is one rank's checkpoint image: everything needed to resume the
+// rank bit-identically. Mem carries exactly the upper-half regions
+// (memsim.Snapshot); Inbox carries the in-flight messages the drain phase
+// buffered at the receiver (§3.1 — drained messages are saved in the
+// image and replayed to the application after restart).
+type Image struct {
+	RankID int
+	PC     int
+	Clock  vtime.Time
+	Mem    memsim.Snapshot
+	Inbox  []netsim.Message
+	Stats  Stats
+}
+
+// Bytes returns the memory payload size of the image, including buffered
+// drained messages.
+func (img Image) Bytes() uint64 {
+	total := img.Mem.TotalBytes()
+	for _, m := range img.Inbox {
+		total += m.Bytes
+	}
+	return total
+}
+
+// Rank is one simulated MPI process.
+type Rank struct {
+	id     int
+	clock  *vtime.Clock
+	mem    *memsim.AddressSpace
+	kernel *kernelsim.Kernel
+	script []Op
+	pc     int
+	state  State
+
+	// inbox holds messages that the checkpoint drain phase buffered at
+	// this rank before the application posted the matching receive.
+	// Receives consume the inbox (per-sender FIFO) before the network.
+	inbox []netsim.Message
+
+	// stateRegion is the upper-half data region workload steps write to,
+	// so that memory contents — and therefore snapshot fingerprints —
+	// evolve over the run.
+	stateRegion uint64
+
+	stats Stats
+	// ckptOverhead accumulates virtual time spent on checkpoint/restart
+	// activity (signal delivery, draining, image write/read, lower-half
+	// rebuild). It is deliberately NOT part of the checkpoint image and
+	// not charged to the application clock: MANA runs checkpointing in a
+	// helper thread, and keeping it separate lets tests prove that a
+	// checkpointed-and-restarted run reaches bit-identical application
+	// virtual times to an uncheckpointed one.
+	ckptOverhead vtime.Duration
+}
+
+const stateRegionSize = 64 * 1024
+
+// New returns a rank with an initialised split-process address space and
+// the given workload script. The upper half models the application, its
+// libc and its link-time MPI library; the lower half models the bootstrap
+// program and the active network stack.
+func New(id int, personality kernelsim.Personality, script []Op) *Rank {
+	r := &Rank{
+		id:     id,
+		clock:  vtime.NewClock(0),
+		mem:    memsim.NewAddressSpace(),
+		kernel: kernelsim.New(personality),
+		script: script,
+	}
+	r.initUpperHalf()
+	r.InitLowerHalf()
+	return r
+}
+
+func (r *Rank) initUpperHalf() {
+	r.mem.Mmap("app.text", memsim.UpperHalf, memsim.KindText, 2<<20)
+	r.mem.Mmap("app.data", memsim.UpperHalf, memsim.KindData, 512<<10)
+	r.mem.Mmap("libc.text", memsim.UpperHalf, memsim.KindText, 1800<<10)
+	r.mem.Mmap("libmpi.text(link)", memsim.UpperHalf, memsim.KindText, 4<<20)
+	r.mem.Mmap("[stack]", memsim.UpperHalf, memsim.KindStack, 256<<10)
+	r.mem.Mmap("[environ]", memsim.UpperHalf, memsim.KindEnviron, 4<<10)
+	state := r.mem.MmapWithData("app.state", memsim.UpperHalf, memsim.KindData, make([]byte, stateRegionSize))
+	r.stateRegion = state.Addr
+}
+
+// InitLowerHalf (re)creates the ephemeral lower half: the bootstrap
+// loader, the active MPI and network libraries and their driver mappings.
+// The coordinator calls it again on restart, after discarding the old
+// lower half, to model rebuilding the lower half from scratch.
+func (r *Rank) InitLowerHalf() {
+	r.mem.Mmap("bootstrap.text", memsim.LowerHalf, memsim.KindText, 128<<10)
+	r.mem.Mmap("libmpi.so(active)", memsim.LowerHalf, memsim.KindText, 4<<20)
+	r.mem.Mmap("libfabric.so", memsim.LowerHalf, memsim.KindText, 1<<20)
+	r.mem.Mmap("nic.pinned", memsim.LowerHalf, memsim.KindPinned, 8<<20)
+	r.mem.Mmap("driver.shm", memsim.LowerHalf, memsim.KindSharedMem, 2<<20)
+}
+
+// ID returns the rank's MPI rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Clock returns the rank's virtual clock.
+func (r *Rank) Clock() *vtime.Clock { return r.clock }
+
+// Mem returns the rank's simulated address space.
+func (r *Rank) Mem() *memsim.AddressSpace { return r.mem }
+
+// Kernel returns the rank's kernel cost model.
+func (r *Rank) Kernel() *kernelsim.Kernel { return r.kernel }
+
+// State returns the scheduler-visible execution state.
+func (r *Rank) State() State {
+	if r.state == Running && r.pc >= len(r.script) {
+		return Done
+	}
+	return r.state
+}
+
+// PC returns the script program counter.
+func (r *Rank) PC() int { return r.pc }
+
+// ScriptLen returns the total number of scripted operations.
+func (r *Rank) ScriptLen() int { return len(r.script) }
+
+// Stats returns a copy of the rank's accounting.
+func (r *Rank) Stats() Stats { return r.stats }
+
+// CkptOverhead returns virtual time spent on checkpoint/restart activity,
+// which is accounted separately from the application clock.
+func (r *Rank) CkptOverhead() vtime.Duration { return r.ckptOverhead }
+
+// ChargeCkptOverhead adds checkpoint-side cost to the rank's overhead
+// account. The coordinator uses this for signal delivery, drain probes,
+// image I/O and restart reinitialisation.
+func (r *Rank) ChargeCkptOverhead(d vtime.Duration) {
+	if d > 0 {
+		r.ckptOverhead += d
+	}
+}
+
+// Op returns the rank's current scripted operation. It panics if the
+// script is exhausted; callers must check State first.
+func (r *Rank) Op() Op {
+	if r.pc >= len(r.script) {
+		panic(fmt.Sprintf("rank %d: Op() past end of script", r.id))
+	}
+	return r.script[r.pc]
+}
+
+// InboxLen returns the number of drain-buffered messages awaiting the
+// application.
+func (r *Rank) InboxLen() int { return len(r.inbox) }
+
+// chargeMPICall advances the clock by MANA's per-call overhead and
+// records it: the FS-register round trip, nHandles virtualisation
+// lookups, and one metadata record when the call has drain-relevant
+// effects (§3.3).
+func (r *Rank) chargeMPICall(nHandles int, recorded bool) {
+	d := r.kernel.MANAPerCallOverhead(nHandles, recorded)
+	r.clock.Advance(d)
+	r.stats.MPICalls++
+	r.stats.ManaOverhead += d
+}
+
+// writeStateMarker stores the current pc into the workload state region
+// so memory contents evolve deterministically with progress.
+func (r *Rank) writeStateMarker() {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(r.pc)+1)
+	off := (uint64(r.pc) * 8) % (stateRegionSize - 8)
+	if err := r.mem.Write(r.stateRegion, off, buf[:]); err != nil {
+		panic(fmt.Sprintf("rank %d: state marker write: %v", r.id, err))
+	}
+}
+
+// DoCompute executes a compute op: advance the clock by the phase
+// duration and touch application memory.
+func (r *Rank) DoCompute(op Op) {
+	r.clock.Advance(op.Dur)
+	r.stats.ComputeTime += op.Dur
+	r.writeStateMarker()
+	r.pc++
+}
+
+// DoSend executes a send op: charge the MANA call overhead (communicator
+// + request handle lookups, metadata record for the drain counters),
+// inject the message with a piggybacked timestamp, and occupy the sender
+// for the serialisation time.
+func (r *Rank) DoSend(net *netsim.Network, op Op) *netsim.Message {
+	r.chargeMPICall(2, true)
+	stamp := vtime.StampFrom(r.id, r.clock)
+	m, busy := net.Send(r.id, op.Peer, op.Tag, op.Bytes, stamp)
+	r.clock.Advance(busy)
+	r.stats.MsgsSent++
+	r.stats.BytesSent += op.Bytes
+	r.pc++
+	return m
+}
+
+// TryRecv attempts to execute a recv op. Drain-buffered inbox messages
+// from the requested peer are consumed first (they were already received
+// off the network by the checkpoint helper); otherwise the network queue
+// is consulted. It returns false, leaving the pc unchanged, if no
+// matching message is in flight yet — the scheduler retries later.
+func (r *Rank) TryRecv(net *netsim.Network, op Op) bool {
+	for i, m := range r.inbox {
+		if m.Src == op.Peer {
+			r.inbox = append(r.inbox[:i:i], r.inbox[i+1:]...)
+			r.completeRecv(m)
+			return true
+		}
+	}
+	m := net.Recv(r.id, op.Peer)
+	if m == nil {
+		return false
+	}
+	r.completeRecv(*m)
+	return true
+}
+
+func (r *Rank) completeRecv(m netsim.Message) {
+	r.chargeMPICall(2, true)
+	// Piggyback synchronisation: the receiver cannot observe the message
+	// before it arrives.
+	r.clock.Observe(vtime.Stamp{Rank: m.Src, When: m.Arrive})
+	r.stats.MsgsRecvd++
+	r.stats.BytesRecvd += m.Bytes
+	r.writeStateMarker()
+	r.pc++
+}
+
+// ArriveAtCollective executes the rank-local half of a collective: charge
+// the call overhead, mark the rank as waiting, and return the piggyback
+// stamp the coordinator gathers to compute the completion time.
+func (r *Rank) ArriveAtCollective() vtime.Stamp {
+	if r.State() != Running {
+		panic(fmt.Sprintf("rank %d: ArriveAtCollective in state %v", r.id, r.state))
+	}
+	r.chargeMPICall(1, true)
+	r.state = InCollective
+	return vtime.StampFrom(r.id, r.clock)
+}
+
+// FinishCollective completes the collective the rank is waiting in: the
+// clock advances to the globally computed completion time.
+func (r *Rank) FinishCollective(completion vtime.Time) {
+	if r.state != InCollective {
+		panic(fmt.Sprintf("rank %d: FinishCollective in state %v", r.id, r.state))
+	}
+	r.clock.AdvanceTo(completion)
+	r.state = Running
+	r.stats.Collectives++
+	r.writeStateMarker()
+	r.pc++
+}
+
+// DoSbrk executes a heap-growth op through the simulated address space,
+// charging the syscall cost.
+func (r *Rank) DoSbrk(op Op) memsim.SbrkResult {
+	r.clock.Advance(r.kernel.SyscallCost())
+	res := r.mem.Sbrk(op.Bytes)
+	r.pc++
+	return res
+}
+
+// BufferDrained appends a message delivered by the checkpoint drain phase
+// to the rank's inbox. The coordinator charges the buffering cost
+// separately via ChargeCkptOverhead.
+func (r *Rank) BufferDrained(m *netsim.Message) {
+	r.inbox = append(r.inbox, *m)
+}
+
+// CaptureImage produces the rank's checkpoint image: the upper-half
+// memory snapshot, the program counter, the clock, the drain-buffered
+// inbox and the restorable stats. The image is fully deep-copied.
+func (r *Rank) CaptureImage() Image {
+	if r.state == InCollective {
+		panic(fmt.Sprintf("rank %d: checkpoint while inside a collective", r.id))
+	}
+	inbox := make([]netsim.Message, len(r.inbox))
+	copy(inbox, r.inbox)
+	return Image{
+		RankID: r.id,
+		PC:     r.pc,
+		Clock:  r.clock.Now(),
+		Mem:    r.mem.SnapshotUpperHalf(),
+		Inbox:  inbox,
+		Stats:  r.stats,
+	}
+}
+
+// Restore rebuilds the rank from a checkpoint image, modelling MANA's
+// restart path: discard the dead process's lower half, bootstrap a fresh
+// one (InitLowerHalf), then map the saved upper-half regions over it and
+// resume the application state. Checkpoint-overhead accounting is
+// preserved across the restore — it describes the run, not the image.
+func (r *Rank) Restore(img Image) {
+	if img.RankID != r.id {
+		panic(fmt.Sprintf("rank %d: restore from image of rank %d", r.id, img.RankID))
+	}
+	// The dead process's address space is gone; restart begins from a
+	// fresh one, exactly as the real bootstrap does. Rebuilding from
+	// scratch also keeps the mmap allocation cursor bit-identical to an
+	// uncheckpointed run, so replayed allocations land at the same
+	// addresses.
+	r.mem = memsim.NewAddressSpace()
+	r.InitLowerHalf()
+	r.mem.RestoreUpperHalf(img.Mem)
+	r.clock.Set(img.Clock)
+	r.pc = img.PC
+	r.state = Running
+	r.inbox = make([]netsim.Message, len(img.Inbox))
+	copy(r.inbox, img.Inbox)
+	r.stats = img.Stats
+}

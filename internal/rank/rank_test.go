@@ -1,0 +1,223 @@
+package rank
+
+import (
+	"testing"
+
+	"mana/internal/kernelsim"
+	"mana/internal/memsim"
+	"mana/internal/netsim"
+	"mana/internal/vtime"
+)
+
+func testNet() *netsim.Network {
+	return netsim.New(netsim.Params{Latency: 1000 * vtime.Nanosecond, BandwidthBytesPerSec: 1e9})
+}
+
+func TestMPICallChargesManaOverhead(t *testing.T) {
+	script := []Op{{Kind: OpSend, Peer: 1, Bytes: 0, Tag: 0}}
+	r := New(0, kernelsim.Unpatched, script)
+	k := kernelsim.New(kernelsim.Unpatched)
+	r.DoSend(testNet(), script[0])
+	st := r.Stats()
+	if st.MPICalls != 1 {
+		t.Fatalf("MPICalls = %d, want 1", st.MPICalls)
+	}
+	want := k.MANAPerCallOverhead(2, true)
+	if st.ManaOverhead != want {
+		t.Errorf("ManaOverhead = %v, want %v (FS round trip + 2 lookups + record)", st.ManaOverhead, want)
+	}
+	if got := r.Clock().Now(); got != vtime.Time(want) {
+		t.Errorf("clock = %v, want %v (zero-byte send costs only MANA overhead)", got, want)
+	}
+}
+
+func TestPatchedKernelCheaperPerCall(t *testing.T) {
+	script := []Op{{Kind: OpSend, Peer: 1, Bytes: 0}}
+	unp := New(0, kernelsim.Unpatched, script)
+	pat := New(0, kernelsim.Patched, script)
+	unp.DoSend(testNet(), script[0])
+	pat.DoSend(testNet(), script[0])
+	if pat.Stats().ManaOverhead >= unp.Stats().ManaOverhead {
+		t.Errorf("patched overhead %v should be below unpatched %v",
+			pat.Stats().ManaOverhead, unp.Stats().ManaOverhead)
+	}
+}
+
+func TestRecvObservesPiggybackedArrival(t *testing.T) {
+	net := testNet()
+	sender := New(0, kernelsim.Patched, []Op{{Kind: OpCompute, Dur: 10 * vtime.Millisecond}, {Kind: OpSend, Peer: 1, Bytes: 1000}})
+	receiver := New(1, kernelsim.Patched, []Op{{Kind: OpRecv, Peer: 0}})
+
+	// Receiver posts first: nothing in flight yet.
+	if receiver.TryRecv(net, receiver.Op()) {
+		t.Fatal("TryRecv succeeded with nothing in flight")
+	}
+	sender.DoCompute(sender.Op())
+	m := sender.DoSend(net, sender.Op())
+	if !receiver.TryRecv(net, receiver.Op()) {
+		t.Fatal("TryRecv failed with a message in flight")
+	}
+	// The receiver (clock near zero) must advance to the arrival time.
+	if got := receiver.Clock().Now(); got < m.Arrive {
+		t.Errorf("receiver clock %v behind message arrival %v", got, m.Arrive)
+	}
+	if receiver.State() != Done {
+		t.Errorf("receiver state = %v, want done", receiver.State())
+	}
+}
+
+func TestCollectiveArriveFinish(t *testing.T) {
+	r := New(0, kernelsim.Patched, []Op{{Kind: OpBarrier}})
+	stamp := r.ArriveAtCollective()
+	if r.State() != InCollective {
+		t.Fatalf("state after arrive = %v, want in-collective", r.State())
+	}
+	if stamp.Rank != 0 || stamp.When != r.Clock().Now() {
+		t.Errorf("arrival stamp %+v inconsistent with clock %v", stamp, r.Clock().Now())
+	}
+	completion := stamp.When.Add(5 * vtime.Microsecond)
+	r.FinishCollective(completion)
+	if got := r.Clock().Now(); got != completion {
+		t.Errorf("clock after finish = %v, want %v", got, completion)
+	}
+	if r.State() != Done {
+		t.Errorf("state = %v, want done", r.State())
+	}
+	if r.Stats().Collectives != 1 {
+		t.Errorf("Collectives = %d, want 1", r.Stats().Collectives)
+	}
+}
+
+func TestImageRoundTripRestoresExactState(t *testing.T) {
+	net := testNet()
+	script := []Op{
+		{Kind: OpCompute, Dur: 1 * vtime.Millisecond},
+		{Kind: OpSbrk, Bytes: 128 << 10},
+		{Kind: OpCompute, Dur: 2 * vtime.Millisecond},
+	}
+	r := New(0, kernelsim.Unpatched, script)
+	r.DoCompute(script[0])
+	r.DoSbrk(script[1])
+	img := r.CaptureImage()
+
+	// Run past the checkpoint, then restore.
+	r.DoCompute(script[2])
+	if r.State() != Done {
+		t.Fatalf("state = %v, want done before restore", r.State())
+	}
+	r.Restore(img)
+	if r.PC() != 2 || r.Clock().Now() != img.Clock {
+		t.Fatalf("restore pc/clock = %d/%v, want %d/%v", r.PC(), r.Clock().Now(), img.PC, img.Clock)
+	}
+	if !r.Mem().PostRestart() {
+		t.Error("address space should be marked post-restart")
+	}
+	// Upper half must match the image bit for bit; replaying the rest of
+	// the script must land in the same final state as the original run.
+	if snap := r.Mem().SnapshotUpperHalf(); !snap.Equal(img.Mem) {
+		t.Error("restored upper half differs from image")
+	}
+	if got := r.Mem().BytesOf(memsim.LowerHalf); got == 0 {
+		t.Error("lower half empty after restore; restart must rebuild it")
+	}
+	r.DoCompute(script[2])
+	if r.State() != Done {
+		t.Errorf("replay did not complete the script")
+	}
+	_ = net
+}
+
+func TestDrainedInboxSurvivesCheckpointAndFeedsRecv(t *testing.T) {
+	net := testNet()
+	sender := New(0, kernelsim.Patched, []Op{{Kind: OpSend, Peer: 1, Bytes: 500, Tag: 9}})
+	receiver := New(1, kernelsim.Patched, []Op{{Kind: OpRecv, Peer: 0, Tag: 9}})
+	sender.DoSend(net, sender.Op())
+
+	// Checkpoint-time drain: the in-flight message is buffered at the
+	// receiver, the network quiesces, and the image carries the buffer.
+	for _, m := range net.DrainTo(1) {
+		receiver.BufferDrained(m)
+	}
+	if net.InFlight() != 0 {
+		t.Fatalf("network not quiescent after drain: %d in flight", net.InFlight())
+	}
+	if receiver.InboxLen() != 1 {
+		t.Fatalf("inbox = %d messages, want 1", receiver.InboxLen())
+	}
+	img := receiver.CaptureImage()
+	if len(img.Inbox) != 1 {
+		t.Fatalf("image inbox = %d messages, want 1", len(img.Inbox))
+	}
+
+	receiver.Restore(img)
+	// The restored receiver consumes the buffered message with no network
+	// traffic at all.
+	if !receiver.TryRecv(net, receiver.Op()) {
+		t.Fatal("recv after restore failed to consume drained message")
+	}
+	if receiver.InboxLen() != 0 {
+		t.Errorf("inbox not consumed: %d left", receiver.InboxLen())
+	}
+	if receiver.Stats().MsgsRecvd != 1 {
+		t.Errorf("MsgsRecvd = %d, want 1", receiver.Stats().MsgsRecvd)
+	}
+}
+
+func TestStatsRestoredFromImage(t *testing.T) {
+	net := testNet()
+	script := []Op{
+		{Kind: OpSend, Peer: 1, Bytes: 100},
+		{Kind: OpSend, Peer: 1, Bytes: 100},
+	}
+	r := New(0, kernelsim.Unpatched, script)
+	r.DoSend(net, script[0])
+	img := r.CaptureImage()
+	r.DoSend(net, script[1])
+	if r.Stats().MsgsSent != 2 {
+		t.Fatalf("MsgsSent = %d, want 2", r.Stats().MsgsSent)
+	}
+	r.Restore(img)
+	if r.Stats().MsgsSent != 1 {
+		t.Errorf("restored MsgsSent = %d, want 1 (stats are part of the image)", r.Stats().MsgsSent)
+	}
+}
+
+func TestGenerateScriptSPMDCollectives(t *testing.T) {
+	cfg := DefaultWorkload(4, 20, 7)
+	var wantColl []OpKind
+	for id := 0; id < cfg.Ranks; id++ {
+		script := GenerateScript(id, cfg)
+		var coll []OpKind
+		for _, op := range script {
+			if op.Kind == OpBarrier || op.Kind == OpAllreduce {
+				coll = append(coll, op.Kind)
+			}
+		}
+		if id == 0 {
+			wantColl = coll
+			if len(coll) == 0 {
+				t.Fatal("workload generates no collectives")
+			}
+			continue
+		}
+		if len(coll) != len(wantColl) {
+			t.Fatalf("rank %d has %d collectives, rank 0 has %d (non-SPMD)", id, len(coll), len(wantColl))
+		}
+		for i := range coll {
+			if coll[i] != wantColl[i] {
+				t.Fatalf("rank %d collective %d is %v, rank 0 has %v", id, i, coll[i], wantColl[i])
+			}
+		}
+	}
+	// Same seed, same script; the generator is deterministic.
+	a := GenerateScript(2, cfg)
+	b := GenerateScript(2, cfg)
+	if len(a) != len(b) {
+		t.Fatalf("script lengths differ across identical calls: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs across identical calls: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package rank
+
+import "mana/internal/vtime"
+
+// WorkloadConfig parameterises the deterministic SPMD workload generator.
+type WorkloadConfig struct {
+	// Ranks is the number of ranks in the job.
+	Ranks int
+	// Steps is the number of outer iterations per rank.
+	Steps int
+	// Seed drives per-rank compute jitter; the same seed always produces
+	// the same scripts.
+	Seed uint64
+	// ComputeMean is the nominal per-step compute phase duration.
+	ComputeMean vtime.Duration
+	// MsgBytes is the point-to-point message payload per exchange.
+	MsgBytes uint64
+	// ReduceBytes is the allreduce payload per rank.
+	ReduceBytes uint64
+}
+
+// DefaultWorkload returns a workload shaped like the paper's benchmark
+// kernels: a halo-exchange ring with periodic allreduces and barriers.
+func DefaultWorkload(ranks, steps int, seed uint64) WorkloadConfig {
+	return WorkloadConfig{
+		Ranks:       ranks,
+		Steps:       steps,
+		Seed:        seed,
+		ComputeMean: 250 * vtime.Microsecond,
+		MsgBytes:    64 << 10,
+		ReduceBytes: 8 << 10,
+	}
+}
+
+// GenerateScript builds the scripted workload for one rank. All ranks
+// share the same SPMD structure — in particular the same collective
+// sequence, as MPI requires — while compute durations are jittered
+// per-rank so clocks skew realistically and the drain phase has real
+// in-flight traffic to buffer.
+//
+// Each step is: compute, send to the right ring neighbour, receive from
+// the left ring neighbour; every third step ends in an allreduce, every
+// fifth in a barrier, and every seventh grows the heap (so checkpoint
+// image sizes evolve between checkpoints).
+func GenerateScript(id int, cfg WorkloadConfig) []Op {
+	rng := vtime.NewRNG(cfg.Seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15)
+	right := (id + 1) % cfg.Ranks
+	left := (id - 1 + cfg.Ranks) % cfg.Ranks
+	var script []Op
+	for step := 0; step < cfg.Steps; step++ {
+		dur := vtime.Duration(float64(cfg.ComputeMean) * rng.Jitter(0.3))
+		script = append(script, Op{Kind: OpCompute, Dur: dur})
+		if cfg.Ranks > 1 {
+			script = append(script,
+				Op{Kind: OpSend, Peer: right, Bytes: cfg.MsgBytes, Tag: step},
+				Op{Kind: OpRecv, Peer: left, Tag: step},
+			)
+		}
+		if step%3 == 2 {
+			script = append(script, Op{Kind: OpAllreduce, Bytes: cfg.ReduceBytes})
+		}
+		if step%5 == 4 {
+			script = append(script, Op{Kind: OpBarrier})
+		}
+		if step%7 == 6 {
+			script = append(script, Op{Kind: OpSbrk, Bytes: 256 << 10})
+		}
+	}
+	return script
+}

@@ -214,3 +214,28 @@ func TestPropertyAdvanceAccumulates(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestStampObserve(t *testing.T) {
+	c := NewClock(100)
+	s := StampFrom(3, c)
+	if s.Rank != 3 || s.When != 100 {
+		t.Fatalf("StampFrom = %+v, want rank 3 at 100", s)
+	}
+	// Observing a later stamp advances; an earlier one never rewinds.
+	if got := c.Observe(Stamp{Rank: 1, When: 500}); got != 500 {
+		t.Errorf("Observe(500) = %v, want 500", got)
+	}
+	if got := c.Observe(Stamp{Rank: 1, When: 50}); got != 500 {
+		t.Errorf("Observe(50) = %v, want 500 (piggyback must not rewind)", got)
+	}
+}
+
+func TestMaxStamp(t *testing.T) {
+	stamps := []Stamp{{Rank: 0, When: 10}, {Rank: 2, When: 300}, {Rank: 1, When: 200}}
+	if got := MaxStamp(stamps); got.Rank != 2 || got.When != 300 {
+		t.Errorf("MaxStamp = %+v, want rank 2 at 300", got)
+	}
+	if got := MaxStamp(nil); got != (Stamp{}) {
+		t.Errorf("MaxStamp(nil) = %+v, want zero", got)
+	}
+}
