@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt bench run
+.PHONY: all build test race lint fmt bench bench-sched run smoke
 
 all: build lint test
 
@@ -25,8 +25,24 @@ lint:
 fmt:
 	gofmt -w .
 
+# bench runs every benchmark, including the scheduler-scaling set
+# (BenchmarkScheduler{64,512,4096}Ranks in internal/coordinator).
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
+# bench-sched runs only the event-scheduler scaling benchmarks.
+bench-sched:
+	$(GO) test -bench='BenchmarkScheduler' -benchmem -run=^$$ ./internal/coordinator
+
 run:
 	$(GO) run ./cmd/manasim
+
+# smoke mirrors CI's determinism checks: a small failure/restart scenario
+# and a 1024-rank run, each executed twice and compared byte for byte.
+smoke:
+	$(GO) run ./cmd/manasim > /tmp/manasim-run1.txt
+	$(GO) run ./cmd/manasim > /tmp/manasim-run2.txt
+	cmp /tmp/manasim-run1.txt /tmp/manasim-run2.txt
+	$(GO) run ./cmd/manasim -ranks 1024 -steps 5 -ckpt-at 200us -no-fail > /tmp/manasim-big1.txt
+	$(GO) run ./cmd/manasim -ranks 1024 -steps 5 -ckpt-at 200us -no-fail > /tmp/manasim-big2.txt
+	cmp /tmp/manasim-big1.txt /tmp/manasim-big2.txt

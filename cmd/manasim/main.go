@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"mana/internal/coordinator"
@@ -28,76 +29,117 @@ import (
 	"mana/internal/vtime"
 )
 
-func main() {
-	var (
-		ranks     = flag.Int("ranks", 8, "number of simulated MPI ranks")
-		steps     = flag.Int("steps", 30, "workload iterations per rank")
-		seed      = flag.Uint64("seed", 42, "deterministic seed for workload jitter and ckpt stragglers")
-		kernel    = flag.String("kernel", "unpatched", "kernel personality: unpatched or patched")
-		ckptAt    = flag.Duration("ckpt-at", 5*time.Millisecond, "virtual time of the first checkpoint request")
-		failAfter = flag.Int("fail-after", 2, "inject a failure after this checkpoint commits (0 = never)")
-		noFail    = flag.Bool("no-fail", false, "disable the failure/restart scenario")
-	)
-	flag.Parse()
+// scenario holds the CLI-selectable parameters of one simulated job.
+type scenario struct {
+	Ranks     int
+	Steps     int
+	Seed      uint64
+	Kernel    string
+	CkptAt    time.Duration
+	FailAfter int
+	NoFail    bool
+}
 
-	if *ranks < 1 {
-		fmt.Fprintf(os.Stderr, "manasim: -ranks must be at least 1 (got %d)\n", *ranks)
-		os.Exit(2)
+// defaultScenario mirrors the flag defaults; the golden test pins its
+// report bytes.
+func defaultScenario() scenario {
+	return scenario{
+		Ranks:     8,
+		Steps:     30,
+		Seed:      42,
+		Kernel:    "unpatched",
+		CkptAt:    5 * time.Millisecond,
+		FailAfter: 2,
 	}
-	if *steps < 0 {
-		fmt.Fprintf(os.Stderr, "manasim: -steps must be non-negative (got %d)\n", *steps)
-		os.Exit(2)
+}
+
+// buildConfig validates the scenario and translates it into a
+// coordinator configuration.
+func buildConfig(s scenario) (coordinator.Config, error) {
+	var cfg coordinator.Config
+	if s.Ranks < 1 {
+		return cfg, fmt.Errorf("-ranks must be at least 1 (got %d)", s.Ranks)
 	}
-	personality := kernelsim.Unpatched
-	switch *kernel {
+	if s.Steps < 0 {
+		return cfg, fmt.Errorf("-steps must be non-negative (got %d)", s.Steps)
+	}
+	var personality kernelsim.Personality
+	switch s.Kernel {
 	case "unpatched":
 		personality = kernelsim.Unpatched
 	case "patched":
 		personality = kernelsim.Patched
 	default:
-		fmt.Fprintf(os.Stderr, "manasim: unknown -kernel %q (want unpatched or patched)\n", *kernel)
-		os.Exit(2)
+		return cfg, fmt.Errorf("unknown -kernel %q (want unpatched or patched)", s.Kernel)
 	}
 
-	cfg := coordinator.DefaultConfig()
-	cfg.Ranks = *ranks
+	cfg = coordinator.DefaultConfig()
+	cfg.Ranks = s.Ranks
 	cfg.Personality = personality
-	cfg.Seed = *seed
-	cfg.Workload = rank.DefaultWorkload(*ranks, *steps, *seed)
+	cfg.Seed = s.Seed
+	cfg.Workload = rank.DefaultWorkload(s.Ranks, s.Steps, s.Seed)
 	cfg.Triggers = []coordinator.Trigger{
 		// First checkpoint: plain virtual-time trigger.
-		{At: vtime.Time(*ckptAt)},
+		{At: vtime.Time(s.CkptAt)},
 		// Second checkpoint: deliberately requested while point-to-point
 		// messages are in flight, so the drain phase buffers real traffic.
-		{At: vtime.Time(*ckptAt), InFlight: true},
+		{At: vtime.Time(s.CkptAt), InFlight: true},
 		// Third checkpoint: deliberately requested while a collective is
 		// partially arrived, so the protocol must defer it.
-		{At: vtime.Time(*ckptAt), MidCollective: true},
+		{At: vtime.Time(s.CkptAt), MidCollective: true},
 	}
-	if !*noFail {
-		cfg.FailAtCheckpoint = *failAfter
-		cfg.FailDelaySteps = 25
+	if !s.NoFail {
+		cfg.FailAtCheckpoint = s.FailAfter
 	}
+	return cfg, nil
+}
 
+// runScenario executes the job — including any injected failure and the
+// restarts that recover from it — and returns the full deterministic
+// output: restart notices followed by the coordinator's report.
+func runScenario(cfg coordinator.Config) (string, error) {
+	var out strings.Builder
 	c := coordinator.New(cfg)
 	outcome, err := c.Run()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "manasim: run failed: %v\n", err)
-		os.Exit(1)
+		return "", fmt.Errorf("run failed: %w", err)
 	}
 	for outcome == coordinator.Failed {
-		fmt.Printf("injected failure after checkpoint #%d; restarting from last image\n",
+		fmt.Fprintf(&out, "injected failure after checkpoint #%d; restarting from last image\n",
 			len(c.Records()))
 		if err := c.Restart(); err != nil {
-			fmt.Fprintf(os.Stderr, "manasim: restart failed: %v\n", err)
-			os.Exit(1)
+			return "", fmt.Errorf("restart failed: %w", err)
 		}
 		outcome, err = c.Run()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "manasim: post-restart run failed: %v\n", err)
-			os.Exit(1)
+			return "", fmt.Errorf("post-restart run failed: %w", err)
 		}
 	}
+	out.WriteString(c.Report())
+	return out.String(), nil
+}
 
-	fmt.Print(c.Report())
+func main() {
+	def := defaultScenario()
+	var s scenario
+	flag.IntVar(&s.Ranks, "ranks", def.Ranks, "number of simulated MPI ranks")
+	flag.IntVar(&s.Steps, "steps", def.Steps, "workload iterations per rank")
+	flag.Uint64Var(&s.Seed, "seed", def.Seed, "deterministic seed for workload jitter and ckpt stragglers")
+	flag.StringVar(&s.Kernel, "kernel", def.Kernel, "kernel personality: unpatched or patched")
+	flag.DurationVar(&s.CkptAt, "ckpt-at", def.CkptAt, "virtual time of the first checkpoint request")
+	flag.IntVar(&s.FailAfter, "fail-after", def.FailAfter, "inject a failure after this checkpoint commits (0 = never)")
+	flag.BoolVar(&s.NoFail, "no-fail", def.NoFail, "disable the failure/restart scenario")
+	flag.Parse()
+
+	cfg, err := buildConfig(s)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "manasim: %v\n", err)
+		os.Exit(2)
+	}
+	report, err := runScenario(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "manasim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(report)
 }

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestDefaultScenarioReportGolden pins the default scenario's report
+// bytes: any change to the scheduler, the cost model or the report
+// format shows up as a diff against testdata/default_report.golden.
+// Regenerate deliberately with:
+//
+//	go test ./cmd/manasim -run TestDefaultScenarioReportGolden -update
+func TestDefaultScenarioReportGolden(t *testing.T) {
+	cfg, err := buildConfig(defaultScenario())
+	if err != nil {
+		t.Fatalf("buildConfig: %v", err)
+	}
+	got, err := runScenario(cfg)
+	if err != nil {
+		t.Fatalf("runScenario: %v", err)
+	}
+	golden := filepath.Join("testdata", "default_report.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("default-scenario report deviates from golden file.\n--- got\n%s\n--- want\n%s", got, want)
+	}
+}
+
+// TestScenarioByteIdenticalAcrossRuns is the CLI-level determinism
+// check: the same scenario must render the same bytes every time.
+func TestScenarioByteIdenticalAcrossRuns(t *testing.T) {
+	s := defaultScenario()
+	s.Ranks = 4
+	s.Steps = 10
+	cfg, err := buildConfig(s)
+	if err != nil {
+		t.Fatalf("buildConfig: %v", err)
+	}
+	r1, err := runScenario(cfg)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	cfg, err = buildConfig(s)
+	if err != nil {
+		t.Fatalf("buildConfig: %v", err)
+	}
+	r2, err := runScenario(cfg)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if r1 != r2 {
+		t.Errorf("reports differ between identical runs:\n--- run 1\n%s\n--- run 2\n%s", r1, r2)
+	}
+}
+
+// TestKernelFlagChangesReport exercises the patched-kernel path through
+// the CLI plumbing.
+func TestKernelFlagChangesReport(t *testing.T) {
+	s := defaultScenario()
+	s.Ranks = 4
+	s.Steps = 6
+	s.NoFail = true
+	cfg, err := buildConfig(s)
+	if err != nil {
+		t.Fatalf("buildConfig: %v", err)
+	}
+	unpatched, err := runScenario(cfg)
+	if err != nil {
+		t.Fatalf("unpatched run: %v", err)
+	}
+	s.Kernel = "patched"
+	cfg, err = buildConfig(s)
+	if err != nil {
+		t.Fatalf("buildConfig: %v", err)
+	}
+	patched, err := runScenario(cfg)
+	if err != nil {
+		t.Fatalf("patched run: %v", err)
+	}
+	if unpatched == patched {
+		t.Error("kernel personality had no effect on the report")
+	}
+}
+
+// TestBuildConfigValidation covers the error paths that used to live in
+// main's flag handling.
+func TestBuildConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*scenario)
+	}{
+		{"zero ranks", func(s *scenario) { s.Ranks = 0 }},
+		{"negative steps", func(s *scenario) { s.Steps = -1 }},
+		{"unknown kernel", func(s *scenario) { s.Kernel = "plan9" }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := defaultScenario()
+			tc.mut(&s)
+			if _, err := buildConfig(s); err == nil {
+				t.Errorf("buildConfig accepted invalid scenario %+v", s)
+			}
+		})
+	}
+}

@@ -1,19 +1,28 @@
 // Package coordinator implements MANA's checkpoint coordination protocol
 // (paper §3.1–3.2) over the simulated rank runtime.
 //
-// The coordinator drives a deterministic scheduler: it executes each
-// rank's scripted operations in rank order, completes collectives when
-// every participant has arrived, and services checkpoint requests with
-// the paper's two-phase protocol:
+// The coordinator drives an event-driven virtual-time scheduler: every
+// state transition in the job — a rank becoming ready to execute its next
+// scripted operation, a point-to-point message arriving, a collective
+// completing, a checkpoint trigger coming due, an injected failure — is
+// an event on a single deterministic queue (vtime.EventQueue, keyed on
+// virtual time with FIFO tie-breaking). The scheduler pops events until
+// quiescence; ranks that are blocked in a receive or waiting in a
+// collective have no queued events and therefore consume zero scheduler
+// work, which is what lets the simulator scale to thousands of mostly
+// idle ranks.
+//
+// Checkpoint requests are serviced with the paper's two-phase protocol:
 //
 //	Phase 1 (quiesce): broadcast checkpoint intent to every rank. Ranks
-//	stop starting new operations at their next call boundary. If any
-//	rank is inside a collective, all ranks keep executing until that
-//	collective completes — a checkpoint never lands mid-collective.
-//	Then the in-flight point-to-point messages are drained: the
-//	per-pair send/receive counters are compared and every outstanding
-//	message is received into the destination rank's buffer, until the
-//	counters agree that the network is quiescent.
+//	stop starting new operations at their next call boundary (no ready
+//	events are dispatched past a pending request). If any rank is
+//	inside a collective, all ranks keep executing until that collective
+//	completes — a checkpoint never lands mid-collective. Then the
+//	in-flight point-to-point messages are drained: the per-pair
+//	send/receive counters are compared and every outstanding message is
+//	received into the destination rank's buffer, until the counters
+//	agree that the network is quiescent.
 //
 //	Phase 2 (commit): each rank captures its upper-half memory snapshot
 //	(memsim.SnapshotUpperHalf) together with its clock, program counter,
@@ -23,10 +32,11 @@
 //
 // Restart discards every rank's lower half, bootstraps a fresh one,
 // replays the saved upper-half region maps, restores clocks and network
-// counters, and resumes the scheduler. Because checkpoint activity is
-// accounted outside the application clocks, a restarted run reaches
-// bit-identical virtual-time results to an uncheckpointed one — the
-// property the determinism tests pin down.
+// counters, clears the event queue (events of the abandoned timeline die
+// with it) and re-seeds ready events from the restored state. Because
+// checkpoint activity is accounted outside the application clocks, a
+// restarted run reaches bit-identical virtual-time results to an
+// uncheckpointed one — the property the determinism tests pin down.
 package coordinator
 
 import (
@@ -44,8 +54,7 @@ import (
 
 // Trigger schedules one checkpoint request.
 type Trigger struct {
-	// At requests the checkpoint once the job's maximum rank clock
-	// reaches this virtual time.
+	// At requests the checkpoint once virtual time reaches this point.
 	At vtime.Time
 	// MidCollective, when set, instead requests the checkpoint at the
 	// first moment (not before At) at which a collective is partially
@@ -83,12 +92,13 @@ type Config struct {
 	Seed uint64
 	// Triggers are the scheduled checkpoint requests.
 	Triggers []Trigger
-	// FailAtCheckpoint, when non-zero, simulates a job failure
-	// FailDelaySteps scheduler iterations after checkpoint number
-	// FailAtCheckpoint commits; Run then returns Failed and the caller
-	// restarts from the last image.
+	// FailAtCheckpoint, when non-zero, simulates a job failure FailDelay
+	// of virtual time after checkpoint number FailAtCheckpoint commits;
+	// Run then returns Failed and the caller restarts from the last
+	// image. The delay is virtual time, not scheduler iterations: under
+	// event dispatch "iterations" is not a meaningful unit.
 	FailAtCheckpoint int
-	FailDelaySteps   int
+	FailDelay        vtime.Duration
 	// ScriptFor, when non-nil, overrides the generated workload with a
 	// handcrafted per-rank script. Tests use it to stage precise
 	// protocol situations (messages in flight, partial collectives).
@@ -107,6 +117,12 @@ func DefaultConfig() Config {
 		StragglerP:         0.1,
 		StragglerMax:       4.0,
 		Seed:               42,
+		// FailDelay is the deterministic mapping of the old scheduler's
+		// 25-iteration failure countdown: at the default workload
+		// granularity one full-scan iteration advanced virtual time by
+		// roughly one compute phase (~250us), so the failure lands a few
+		// application steps after the checkpoint commits.
+		FailDelay: 250 * vtime.Microsecond,
 	}
 }
 
@@ -175,6 +191,34 @@ type committed struct {
 	counters netsim.Counters
 }
 
+// eventKind identifies one scheduler event type.
+type eventKind int
+
+const (
+	// evRankReady dispatches one rank's next scripted operation.
+	evRankReady eventKind = iota
+	// evDelivery makes a message visible at its receiver; if the
+	// receiver is blocked on a matching receive it is woken.
+	evDelivery
+	// evCollectiveDone completes the forming collective for every
+	// participant.
+	evCollectiveDone
+	// evTrigger arms or fires one checkpoint trigger at its At time.
+	evTrigger
+	// evFail is the injected failure.
+	evFail
+)
+
+// event is one entry on the virtual-time queue. Exactly one payload
+// field is meaningful per kind.
+type event struct {
+	kind       eventKind
+	rank       int             // evRankReady
+	msg        *netsim.Message // evDelivery
+	trigger    int             // evTrigger: index into cfg.Triggers
+	completion vtime.Time      // evCollectiveDone
+}
+
 // Coordinator owns the ranks, the network and the checkpoint protocol.
 type Coordinator struct {
 	cfg   Config
@@ -182,28 +226,45 @@ type Coordinator struct {
 	net   *netsim.Network
 	rng   *vtime.RNG
 
+	queue *vtime.EventQueue[event]
+
 	triggers []Trigger
 	fired    []bool
-	pending  []request
+	// armed holds indexes of condition triggers (MidCollective/InFlight)
+	// whose At time has passed; their conditions are re-checked after
+	// every dispatched event.
+	armed   []int
+	pending []request
 
-	// Collective rendezvous state: stamps of ranks that have arrived at
-	// the currently forming collective.
-	collStamps []vtime.Stamp
-	collKind   netsim.CollectiveKind
-	collBytes  uint64
+	// Collective rendezvous state: stamps and IDs of ranks that have
+	// arrived at the currently forming collective, in arrival order.
+	collStamps    []vtime.Stamp
+	collRanks     []int
+	collKind      netsim.CollectiveKind
+	collBytes     uint64
+	collScheduled bool
+
+	// doneCount and maxClock are maintained incrementally so the hot
+	// loop never scans all ranks.
+	doneCount int
+	maxClock  vtime.Time
 
 	records  []CheckpointRecord
 	restarts []RestartRecord
 	last     *committed
 
-	failArmed     bool
-	failCountdown int
-
-	steps uint64
+	// events counts dispatched queue events; rankVisits counts how many
+	// times the scheduler touched a rank (op execution, wake attempt,
+	// collective completion). Under the old full-scan loop the visit
+	// count was iterations x ranks; here it scales with actual work.
+	events     uint64
+	rankVisits uint64
 }
 
 // New builds a job from the config: one rank per ID with a generated
-// SPMD script, a fresh network, and the configured triggers armed.
+// SPMD script, a fresh network wired for event-driven delivery, the
+// configured triggers scheduled, and every rank's first ready event
+// seeded.
 func New(cfg Config) *Coordinator {
 	if cfg.Ranks <= 0 {
 		panic("coordinator: config needs at least one rank")
@@ -213,8 +274,13 @@ func New(cfg Config) *Coordinator {
 		cfg:      cfg,
 		net:      netsim.New(cfg.Net),
 		rng:      vtime.NewRNG(cfg.Seed),
+		queue:    vtime.NewEventQueue[event](),
 		triggers: append([]Trigger(nil), cfg.Triggers...),
 		fired:    make([]bool, len(cfg.Triggers)),
+	}
+	c.net.SetDeliveryScheduler(c)
+	for i, t := range c.triggers {
+		c.queue.Push(t.At, event{kind: evTrigger, trigger: i})
 	}
 	for id := 0; id < cfg.Ranks; id++ {
 		var script []rank.Op
@@ -223,9 +289,36 @@ func New(cfg Config) *Coordinator {
 		} else {
 			script = rank.GenerateScript(id, cfg.Workload)
 		}
-		c.ranks = append(c.ranks, rank.New(id, cfg.Personality, script))
+		r := rank.New(id, cfg.Personality, script)
+		c.ranks = append(c.ranks, r)
+		if r.State() == rank.Done {
+			c.doneCount++
+		} else {
+			c.scheduleReady(r)
+		}
 	}
 	return c
+}
+
+// ScheduleDelivery implements netsim.DeliveryScheduler: every injected
+// message becomes a delivery event at its arrival time. It is invoked by
+// the network from within the scheduler goroutine.
+func (c *Coordinator) ScheduleDelivery(m *netsim.Message) {
+	c.queue.Push(m.Arrive, event{kind: evDelivery, msg: m})
+}
+
+// scheduleReady queues the rank's next ready event, if it has one.
+func (c *Coordinator) scheduleReady(r *rank.Rank) {
+	if t, ok := r.NextReady(); ok {
+		c.queue.Push(t, event{kind: evRankReady, rank: r.ID()})
+	}
+}
+
+// noteClock raises the job's virtual-time high-water mark.
+func (c *Coordinator) noteClock(t vtime.Time) {
+	if t > c.maxClock {
+		c.maxClock = t
+	}
 }
 
 // Ranks returns the simulated ranks.
@@ -240,11 +333,19 @@ func (c *Coordinator) Records() []CheckpointRecord { return c.records }
 // Restarts returns the restart records.
 func (c *Coordinator) Restarts() []RestartRecord { return c.restarts }
 
-// Steps returns the number of scheduler iterations executed.
-func (c *Coordinator) Steps() uint64 { return c.steps }
+// EventsDispatched returns the number of queue events popped so far.
+func (c *Coordinator) EventsDispatched() uint64 { return c.events }
+
+// RankVisits returns how many times the scheduler touched a rank: one
+// per executed operation, wake attempt and collective completion. The
+// old full-scan loop visited every rank on every iteration; this counter
+// is what the scaling tests compare against that baseline.
+func (c *Coordinator) RankVisits() uint64 { return c.rankVisits }
 
 // MaxClock returns the maximum rank clock — the job's virtual makespan so
-// far.
+// far. It scans all ranks and is intended for reports and checkpoint
+// records, not the per-event hot path (which uses the incremental
+// high-water mark).
 func (c *Coordinator) MaxClock() vtime.Time {
 	var max vtime.Time
 	for _, r := range c.ranks {
@@ -255,134 +356,211 @@ func (c *Coordinator) MaxClock() vtime.Time {
 	return max
 }
 
-func (c *Coordinator) nonDone() int {
-	n := 0
-	for _, r := range c.ranks {
-		if r.State() != rank.Done {
-			n++
-		}
-	}
-	return n
-}
+func (c *Coordinator) nonDone() int { return c.cfg.Ranks - c.doneCount }
 
-func (c *Coordinator) inCollective() int {
-	n := 0
-	for _, r := range c.ranks {
-		if r.State() == rank.InCollective {
-			n++
-		}
-	}
-	return n
-}
+func (c *Coordinator) inCollective() int { return len(c.collRanks) }
 
 // collectiveInProgress reports whether any rank is inside a collective.
-func (c *Coordinator) collectiveInProgress() bool { return c.inCollective() > 0 }
+func (c *Coordinator) collectiveInProgress() bool { return len(c.collRanks) > 0 }
 
 // atSafePoint reports whether a checkpoint may proceed: no rank is inside
 // a collective (paper §3.2 — a checkpoint either completes the collective
 // first or sits out until it has).
 func (c *Coordinator) atSafePoint() bool { return !c.collectiveInProgress() }
 
-func (c *Coordinator) allDone() bool { return c.nonDone() == 0 }
+func (c *Coordinator) allDone() bool { return c.doneCount == c.cfg.Ranks }
 
-// fireTriggers converts due triggers into pending checkpoint requests.
-func (c *Coordinator) fireTriggers() {
-	now := c.MaxClock()
-	for i, t := range c.triggers {
-		if c.fired[i] {
-			continue
-		}
+// fireTrigger converts trigger i into a pending checkpoint request.
+func (c *Coordinator) fireTrigger(i int) {
+	c.fired[i] = true
+	c.pending = append(c.pending, request{at: c.maxClock, midCollective: c.collectiveInProgress()})
+}
+
+// armTrigger handles trigger i's At time coming due: plain virtual-time
+// triggers fire immediately; condition triggers (mid-collective,
+// in-flight) join the armed set and are checked after every event.
+func (c *Coordinator) armTrigger(i int) {
+	if c.fired[i] {
+		return
+	}
+	t := c.triggers[i]
+	if !t.MidCollective && !t.InFlight {
+		c.fireTrigger(i)
+		return
+	}
+	c.armed = append(c.armed, i)
+	c.checkArmedTriggers()
+}
+
+// checkArmedTriggers fires any armed condition trigger whose condition
+// currently holds. With no armed triggers this is a single length check,
+// so the per-event cost of trigger support is O(1).
+func (c *Coordinator) checkArmedTriggers() {
+	if len(c.armed) == 0 {
+		return
+	}
+	kept := c.armed[:0]
+	for _, i := range c.armed {
+		t := c.triggers[i]
 		due := false
 		switch {
 		case t.MidCollective:
 			in := c.inCollective()
-			due = now >= t.At && in > 0 && in < c.nonDone()
+			due = in > 0 && in < c.nonDone()
 		case t.InFlight:
-			due = now >= t.At && c.net.InFlight() > 0
-		default:
-			due = now >= t.At
+			due = c.net.InFlight() > 0
 		}
 		if due {
-			c.fired[i] = true
-			c.pending = append(c.pending, request{at: now, midCollective: c.collectiveInProgress()})
+			c.fireTrigger(i)
+		} else {
+			kept = append(kept, i)
 		}
 	}
+	c.armed = kept
 }
 
-// tryCompleteCollective finishes the forming collective once every
-// non-done rank has arrived: completion time is the latest arrival stamp
-// plus the modelled collective cost, and every participant advances to
-// it.
-func (c *Coordinator) tryCompleteCollective() bool {
+// maybeScheduleCollectiveDone schedules the collective-completion event
+// once every non-done rank has arrived: completion time is the latest
+// arrival stamp plus the modelled collective cost.
+func (c *Coordinator) maybeScheduleCollectiveDone() {
 	n := len(c.collStamps)
-	if n == 0 || n < c.nonDone() {
-		return false
+	if c.collScheduled || n == 0 || n < c.nonDone() {
+		return
 	}
 	latest := vtime.MaxStamp(c.collStamps)
 	completion := latest.When.Add(c.cfg.Net.CollectiveCost(c.collKind, n, c.collBytes))
-	for _, r := range c.ranks {
-		if r.State() == rank.InCollective {
-			r.FinishCollective(completion)
-		}
-	}
-	c.collStamps = nil
-	return true
+	c.collScheduled = true
+	c.queue.Push(completion, event{kind: evCollectiveDone, completion: completion})
 }
 
-// step executes one deterministic scheduler iteration: complete a ready
-// collective, then let each runnable rank execute its next operation.
-// Triggers are re-checked after every rank action — the coordinator is
-// asynchronous in the real system — so a request can land between one
-// rank's send and the matching receive (leaving messages in flight for
-// the drain phase) or right after a rank arrives at a collective (the
-// deferral path). As soon as a request is pending, ranks hold at their
-// call boundary — unless a collective is in progress, in which case all
-// ranks keep executing until it completes (§3.2).
-func (c *Coordinator) step() bool {
-	c.steps++
-	progress := c.tryCompleteCollective()
-	for _, r := range c.ranks {
-		if len(c.pending) > 0 && !c.collectiveInProgress() {
-			break
+// joinCollective records one rank's arrival at the forming collective.
+func (c *Coordinator) joinCollective(r *rank.Rank, tr rank.Transition) {
+	kind := netsim.Barrier
+	if tr.Op.Kind == rank.OpAllreduce {
+		kind = netsim.Allreduce
+	}
+	if len(c.collStamps) > 0 && kind != c.collKind {
+		panic(fmt.Sprintf("coordinator: rank %d arrived at %v while %v is forming (non-SPMD script)",
+			r.ID(), kind, c.collKind))
+	}
+	c.collKind = kind
+	c.collBytes = tr.Op.Bytes
+	c.collStamps = append(c.collStamps, tr.Stamp)
+	c.collRanks = append(c.collRanks, r.ID())
+	c.maybeScheduleCollectiveDone()
+}
+
+// completeCollective finishes the collective for every participant:
+// each advances to the completion time and its next ready event is
+// scheduled.
+func (c *Coordinator) completeCollective(completion vtime.Time) {
+	for _, id := range c.collRanks {
+		r := c.ranks[id]
+		c.rankVisits++
+		r.FinishCollective(completion)
+		if r.State() == rank.Done {
+			c.doneCount++
+		} else {
+			c.scheduleReady(r)
 		}
+	}
+	c.noteClock(completion)
+	c.collStamps = nil
+	c.collRanks = nil
+	c.collScheduled = false
+}
+
+// afterRankProgress updates bookkeeping after a rank moved: the
+// high-water clock, the done count, and — because a rank finishing its
+// script lowers the collective participation bar — a possible collective
+// completion.
+func (c *Coordinator) afterRankProgress(r *rank.Rank) {
+	c.noteClock(r.Clock().Now())
+	if r.State() == rank.Done {
+		c.doneCount++
+		c.maybeScheduleCollectiveDone()
+	} else {
+		c.scheduleReady(r)
+	}
+}
+
+// dispatch executes one popped event. It returns failed=true when the
+// injected failure fired.
+func (c *Coordinator) dispatch(ev event) (failed bool) {
+	switch ev.kind {
+	case evRankReady:
+		r := c.ranks[ev.rank]
 		if r.State() != rank.Running {
-			continue
+			return false // stale: the timeline this event belonged to is gone
 		}
-		op := r.Op()
-		switch op.Kind {
-		case rank.OpCompute:
-			r.DoCompute(op)
-			progress = true
-		case rank.OpSend:
-			r.DoSend(c.net, op)
-			progress = true
-		case rank.OpRecv:
-			if r.TryRecv(c.net, op) {
-				progress = true
-			}
-		case rank.OpBarrier, rank.OpAllreduce:
-			kind := netsim.Barrier
-			if op.Kind == rank.OpAllreduce {
-				kind = netsim.Allreduce
-			}
-			if len(c.collStamps) > 0 && kind != c.collKind {
-				panic(fmt.Sprintf("coordinator: rank %d arrived at %v while %v is forming (non-SPMD script)",
-					r.ID(), kind, c.collKind))
-			}
-			c.collKind = kind
-			c.collBytes = op.Bytes
-			c.collStamps = append(c.collStamps, r.ArriveAtCollective())
-			progress = true
-		case rank.OpSbrk:
-			r.DoSbrk(op)
-			progress = true
+		c.rankVisits++
+		tr := r.Execute(c.net)
+		switch tr.Kind {
+		case rank.Advanced:
+			c.afterRankProgress(r)
+		case rank.BlockedOnRecv:
+			// Zero scheduler work until a delivery event wakes it.
+		case rank.JoinedCollective:
+			c.noteClock(r.Clock().Now())
+			c.joinCollective(r, tr)
 		}
-		c.fireTriggers()
+	case evDelivery:
+		m := ev.msg
+		r := c.ranks[m.Dst]
+		if peer, ok := r.BlockedOn(); ok && peer == m.Src {
+			c.rankVisits++
+			if r.Wake(c.net) {
+				c.afterRankProgress(r)
+			}
+		}
+		// Otherwise the receiver is not waiting for this message: it will
+		// consume it from the network (or its drained inbox) when its own
+		// ready event reaches the receive, so the event is a no-op.
+	case evCollectiveDone:
+		c.completeCollective(ev.completion)
+	case evTrigger:
+		c.armTrigger(ev.trigger)
+	case evFail:
+		return true
 	}
-	if c.tryCompleteCollective() {
-		progress = true
+	return false
+}
+
+// Run drives the event loop until the job completes or the configured
+// failure injection fires. It may be called again after Restart.
+func (c *Coordinator) Run() (Outcome, error) {
+	for {
+		for len(c.pending) > 0 && c.atSafePoint() {
+			if err := c.checkpoint(); err != nil {
+				return Failed, err
+			}
+		}
+		if c.allDone() {
+			if got := c.net.InFlight(); got != 0 {
+				return Failed, fmt.Errorf("coordinator: job done with %d unreceived messages", got)
+			}
+			return Completed, nil
+		}
+		ev, ok := c.pop()
+		if !ok {
+			return Failed, fmt.Errorf(
+				"coordinator: deadlock after %d events — %d ranks not done, %d in collective, %d messages in flight, no event can wake them",
+				c.events, c.nonDone(), c.inCollective(), c.net.InFlight())
+		}
+		if c.dispatch(ev) {
+			return Failed, nil
+		}
+		c.checkArmedTriggers()
 	}
-	return progress
+}
+
+// pop removes the earliest event from the queue.
+func (c *Coordinator) pop() (event, bool) {
+	_, ev, ok := c.queue.Pop()
+	if ok {
+		c.events++
+	}
+	return ev, ok
 }
 
 // drain runs phase 1's message drain: every in-flight message is received
@@ -410,7 +588,9 @@ func (c *Coordinator) drain(rec *CheckpointRecord) error {
 }
 
 // checkpoint services the oldest pending request with the two-phase
-// protocol. The caller guarantees the job is at a safe point.
+// protocol. The caller guarantees the job is at a safe point. Ranks left
+// blocked in a receive whose message was drained into their inbox are
+// woken by the message's still-queued delivery event.
 func (c *Coordinator) checkpoint() error {
 	req := c.pending[0]
 	c.pending = c.pending[1:]
@@ -458,47 +638,21 @@ func (c *Coordinator) checkpoint() error {
 	c.records = append(c.records, rec)
 
 	if c.cfg.FailAtCheckpoint == rec.Seq {
-		c.failArmed = true
-		c.failCountdown = c.cfg.FailDelaySteps
+		// The failure is an event like everything else: it fires FailDelay
+		// of virtual time after the commit point.
+		c.queue.Push(rec.SafeAt.Add(c.cfg.FailDelay), event{kind: evFail})
 	}
 	return nil
-}
-
-// Run drives the scheduler until the job completes or the configured
-// failure injection fires. It may be called again after Restart.
-func (c *Coordinator) Run() (Outcome, error) {
-	for {
-		c.fireTriggers()
-		for len(c.pending) > 0 && c.atSafePoint() {
-			if err := c.checkpoint(); err != nil {
-				return Failed, err
-			}
-		}
-		if c.failArmed {
-			if c.failCountdown <= 0 {
-				c.failArmed = false
-				return Failed, nil
-			}
-			c.failCountdown--
-		}
-		if c.allDone() {
-			if got := c.net.InFlight(); got != 0 {
-				return Failed, fmt.Errorf("coordinator: job done with %d unreceived messages", got)
-			}
-			return Completed, nil
-		}
-		if !c.step() {
-			return Failed, fmt.Errorf("coordinator: no progress (deadlock) at step %d, %d in flight, %d in collective",
-				c.steps, c.net.InFlight(), c.inCollective())
-		}
-	}
 }
 
 // Restart rebuilds the job from the last committed checkpoint: every
 // rank discards its lower half, bootstraps a fresh one, replays the
 // saved upper-half region map and resumes its clock, program counter and
 // drained-message buffer; the network counters are restored and its
-// queues cleared (the image was taken on a quiescent network).
+// queues cleared (the image was taken on a quiescent network). The event
+// queue is cleared — ready, delivery, collective and failure events all
+// referenced the abandoned timeline — and reseeded from the restored
+// state: one ready event per unfinished rank plus the unfired triggers.
 func (c *Coordinator) Restart() error {
 	if c.last == nil {
 		return fmt.Errorf("coordinator: no committed checkpoint to restart from")
@@ -511,13 +665,31 @@ func (c *Coordinator) Restart() error {
 	}
 	c.net.Restore(c.last.counters)
 	c.collStamps = nil
+	c.collRanks = nil
+	c.collScheduled = false
 	// Checkpoint requests fired in the abandoned timeline die with it: a
 	// request references scheduler state (clocks, collective progress)
 	// that no longer exists after the rollback. The triggers themselves
-	// stay consumed — they described the dead epoch.
+	// stay consumed — they described the dead epoch. Unfired triggers are
+	// rescheduled so they can still come due in the new timeline.
 	c.pending = nil
-	c.failArmed = false
-	c.restarts = append(c.restarts, RestartRecord{FromSeq: c.last.seq, ResumeClock: c.MaxClock()})
+	c.armed = c.armed[:0]
+	c.queue.Clear()
+	for i, t := range c.triggers {
+		if !c.fired[i] {
+			c.queue.Push(t.At, event{kind: evTrigger, trigger: i})
+		}
+	}
+	c.doneCount = 0
+	for _, r := range c.ranks {
+		if r.State() == rank.Done {
+			c.doneCount++
+		} else {
+			c.scheduleReady(r)
+		}
+	}
+	c.maxClock = c.MaxClock()
+	c.restarts = append(c.restarts, RestartRecord{FromSeq: c.last.seq, ResumeClock: c.maxClock})
 	return nil
 }
 
@@ -548,8 +720,8 @@ func (c *Coordinator) Report() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "manasim: %d ranks, kernel=%v, seed=%d\n",
 		c.cfg.Ranks, c.cfg.Personality, c.cfg.Seed)
-	fmt.Fprintf(&b, "job: makespan=%v, scheduler steps=%d, messages sent=%d\n",
-		c.MaxClock(), c.steps, c.net.TotalSent())
+	fmt.Fprintf(&b, "job: makespan=%v, events=%d, rank-visits=%d, messages sent=%d\n",
+		c.MaxClock(), c.events, c.rankVisits, c.net.TotalSent())
 
 	fmt.Fprintf(&b, "\nranks:\n")
 	fmt.Fprintf(&b, "  %4s %16s %10s %6s %6s %6s %14s %14s\n",

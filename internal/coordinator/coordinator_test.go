@@ -160,7 +160,7 @@ func TestRestartBitIdenticalToUncheckpointedRun(t *testing.T) {
 		{At: vtime.Time(1 * vtime.Millisecond), MidCollective: true},
 	}
 	withCkpt.FailAtCheckpoint = 2
-	withCkpt.FailDelaySteps = 10
+	withCkpt.FailDelay = 100 * vtime.Microsecond
 
 	c := New(withCkpt)
 	outcome, err := c.Run()
@@ -215,7 +215,7 @@ func TestReportByteIdentical(t *testing.T) {
 			{At: vtime.Time(1 * vtime.Millisecond), MidCollective: true},
 		}
 		cfg.FailAtCheckpoint = 3
-		cfg.FailDelaySteps = 10
+		cfg.FailDelay = 100 * vtime.Microsecond
 		c := New(cfg)
 		outcome, err := c.Run()
 		if err != nil {
@@ -253,18 +253,23 @@ func TestRestartDiscardsPendingRequests(t *testing.T) {
 	cfg.StragglerP = 0
 	cfg.Triggers = []Trigger{
 		{At: 0},
-		// Fires mid-collective during the failure countdown; ranks must
-		// finish the collective before it can be serviced, and the
-		// failure hits first (skewed compute keeps rank 3 away from the
-		// collective for many scheduler iterations).
+		// Fires mid-collective before the failure; ranks must finish the
+		// collective before it can be serviced, and the failure event
+		// lands first (rank 3's blocking receive keeps it away from the
+		// collective past the failure time).
 		{At: 0, MidCollective: true},
 	}
 	cfg.FailAtCheckpoint = 1
-	cfg.FailDelaySteps = 2
+	// Checkpoint #1 commits at virtual time 0; ranks 1 and 2 enter the
+	// allreduce at exactly 1ms (after their compute phases) while rank 3
+	// is still blocked on its receive (the matching send only arrives at
+	// ~1.0035ms), so a failure at 1.001ms lands mid-collective with the
+	// deferred request still pending.
+	cfg.FailDelay = 1001 * vtime.Microsecond
 	cfg.ScriptFor = func(id int) []rank.Op {
-		// Rank 3 blocks on a receive that rank 0 only satisfies an
-		// iteration later, so ranks 1 and 2 sit inside the allreduce —
-		// partially arrived — when the failure countdown expires.
+		// Rank 3 blocks on a receive that rank 0 only satisfies after its
+		// own compute phase, so ranks 1 and 2 sit inside the allreduce —
+		// partially arrived — when the failure event fires.
 		switch id {
 		case 0:
 			return []rank.Op{

@@ -1,0 +1,134 @@
+package coordinator
+
+import (
+	"testing"
+
+	"mana/internal/rank"
+	"mana/internal/vtime"
+)
+
+// idleHeavyConfig builds the scheduler-scaling scenario: rank 0 is the
+// only busy rank, alternating compute phases with one send to each other
+// rank; every other rank posts a single receive and then blocks until
+// its message arrives. Under the old full-scan loop every iteration
+// visited all N ranks even though N-1 of them were blocked; under event
+// dispatch the blocked ranks cost nothing until their delivery events
+// fire.
+func idleHeavyConfig(ranks int) Config {
+	cfg := DefaultConfig()
+	cfg.Ranks = ranks
+	cfg.StragglerP = 0
+	cfg.Triggers = nil
+	cfg.ScriptFor = func(id int) []rank.Op {
+		if id == 0 {
+			script := make([]rank.Op, 0, 2*(ranks-1))
+			for d := 1; d < ranks; d++ {
+				script = append(script,
+					rank.Op{Kind: rank.OpCompute, Dur: 1 * vtime.Microsecond},
+					rank.Op{Kind: rank.OpSend, Peer: d, Bytes: 1024, Tag: d},
+				)
+			}
+			return script
+		}
+		return []rank.Op{{Kind: rank.OpRecv, Peer: 0, Tag: id}}
+	}
+	return cfg
+}
+
+// TestBlockedRanksConsumeZeroSchedulerWork pins the core scaling
+// property down to an exact visit count: a blocked rank is touched
+// exactly twice — once when it posts the receive and blocks, once when
+// the delivery event wakes it — no matter how many events the busy rank
+// generates in between.
+func TestBlockedRanksConsumeZeroSchedulerWork(t *testing.T) {
+	const computePhases = 100
+	cfg := DefaultConfig()
+	cfg.Ranks = 3
+	cfg.StragglerP = 0
+	cfg.Triggers = nil
+	cfg.ScriptFor = func(id int) []rank.Op {
+		if id == 0 {
+			script := make([]rank.Op, 0, computePhases+2)
+			for i := 0; i < computePhases; i++ {
+				script = append(script, rank.Op{Kind: rank.OpCompute, Dur: 1 * vtime.Microsecond})
+			}
+			script = append(script,
+				rank.Op{Kind: rank.OpSend, Peer: 1, Bytes: 64},
+				rank.Op{Kind: rank.OpSend, Peer: 2, Bytes: 64},
+			)
+			return script
+		}
+		return []rank.Op{{Kind: rank.OpRecv, Peer: 0}}
+	}
+	c := New(cfg)
+	outcome, err := c.Run()
+	if err != nil || outcome != Completed {
+		t.Fatalf("Run = %v, %v", outcome, err)
+	}
+	// rank 0: computePhases + 2 sends; ranks 1 and 2: one blocked receive
+	// attempt + one wake each.
+	want := uint64(computePhases+2) + 2 + 2
+	if got := c.RankVisits(); got != want {
+		t.Errorf("rank visits = %d, want exactly %d (blocked ranks must consume zero scheduler work)", got, want)
+	}
+}
+
+// TestIdleHeavy4096Ranks is the acceptance scenario for the event-driven
+// scheduler: 4096 ranks, all but one blocked in a receive, must complete
+// well within test timeouts and with at least 10x fewer rank visits than
+// the old O(ranks)-per-iteration full scan would have spent.
+func TestIdleHeavy4096Ranks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("4096-rank scenario skipped in -short mode")
+	}
+	const ranks = 4096
+	c := New(idleHeavyConfig(ranks))
+	outcome, err := c.Run()
+	if err != nil || outcome != Completed {
+		t.Fatalf("Run = %v, %v", outcome, err)
+	}
+	for _, r := range c.Ranks()[1:] {
+		if r.Stats().MsgsRecvd != 1 {
+			t.Fatalf("rank %d received %d messages, want 1", r.ID(), r.Stats().MsgsRecvd)
+		}
+	}
+	// The old scheduler executed at most one op per rank per iteration
+	// and visited every rank on every iteration, so it needed at least
+	// (busiest rank's op count) x ranks visits for the same virtual-time
+	// span. That is a conservative lower bound: iterations without
+	// progress (blocked receives) scanned all ranks too.
+	busiest := uint64(2 * (ranks - 1)) // rank 0's script length
+	oldScanVisits := busiest * uint64(ranks)
+	got := c.RankVisits()
+	if got*10 > oldScanVisits {
+		t.Errorf("rank visits = %d; old full scan needed >= %d; want at least a 10x reduction", got, oldScanVisits)
+	}
+	t.Logf("events=%d rank-visits=%d (old full-scan lower bound %d, reduction %.0fx)",
+		c.EventsDispatched(), got, oldScanVisits, float64(oldScanVisits)/float64(got))
+}
+
+// benchScheduler measures the event loop end to end on the idle-heavy
+// scenario at a given scale. Setup (rank construction, address-space
+// bookkeeping) is excluded from the timing so the numbers track
+// scheduler work, which is the quantity that must scale with events
+// rather than ranks.
+func benchScheduler(b *testing.B, ranks int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := New(idleHeavyConfig(ranks))
+		b.StartTimer()
+		outcome, err := c.Run()
+		if err != nil || outcome != Completed {
+			b.Fatalf("Run = %v, %v", outcome, err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(c.RankVisits()), "rank-visits")
+			b.ReportMetric(float64(c.EventsDispatched()), "events")
+		}
+	}
+}
+
+func BenchmarkScheduler64Ranks(b *testing.B)   { benchScheduler(b, 64) }
+func BenchmarkScheduler512Ranks(b *testing.B)  { benchScheduler(b, 512) }
+func BenchmarkScheduler4096Ranks(b *testing.B) { benchScheduler(b, 4096) }

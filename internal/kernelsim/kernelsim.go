@@ -11,9 +11,11 @@
 //     the FSGSBASE patch the unprivileged WRFSBASE instruction costs only a
 //     few nanoseconds.
 //  2. Handle virtualisation: a hash-table lookup plus locking for every MPI
-//     call that passes a communicator, datatype or request handle. This is
-//     modelled in package virtid but the per-lookup cost constant lives
-//     here so all kernel/CPU cost constants are in one place.
+//     call that passes a communicator, datatype or request handle. The
+//     virtual-to-real translation table itself is not modelled yet (a
+//     dedicated virtid package is a roadmap item); until it lands, the
+//     per-lookup cost constant lives here so all kernel/CPU cost constants
+//     are in one place.
 //
 // The package also models sbrk() semantics for the simulated address space:
 // after restart the kernel would extend the *lower-half* data segment on

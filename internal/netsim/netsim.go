@@ -9,6 +9,12 @@
 // (vtime.Stamp) so the receiver can advance causally, and the network keeps
 // the per-pair send/receive counters that the coordinator's draining
 // algorithm (paper §3.1) compares to decide when the network is quiescent.
+//
+// Delivery is event-driven: each Send computes the message's arrival time
+// and hands it to the registered DeliveryScheduler, which turns it into a
+// virtual-time event on the coordinator's queue. Receivers are therefore
+// woken exactly when a matching message becomes visible instead of being
+// polled every scheduler iteration.
 package netsim
 
 import (
@@ -144,6 +150,18 @@ func (c Counters) InFlight() uint64 {
 	return n
 }
 
+// DeliveryScheduler is notified of every injected message so its arrival
+// can be scheduled as a virtual-time event. The event-driven coordinator
+// registers itself here: instead of polling the network for receivable
+// messages, it is handed each message's arrival time at send time and
+// pushes a delivery event onto its queue.
+type DeliveryScheduler interface {
+	// ScheduleDelivery is called once per Send, after the message's
+	// arrival time has been computed and the network lock has been
+	// released, so implementations are free to inspect the Network.
+	ScheduleDelivery(m *Message)
+}
+
 // Network is the simulated interconnect: per-pair FIFO queues plus the
 // send/receive counters the drain protocol uses. It is safe for concurrent
 // use, though the deterministic scheduler drives it from one goroutine.
@@ -154,6 +172,12 @@ type Network struct {
 	nextSeq  uint64
 	queues   map[Pair][]*Message
 	counters Counters
+	// inflight counts sent-but-not-received messages, maintained
+	// incrementally so the scheduler's per-event trigger checks are O(1)
+	// instead of a scan over every pair.
+	inflight uint64
+
+	scheduler DeliveryScheduler
 }
 
 // New returns an empty network with the given parameters.
@@ -168,12 +192,20 @@ func New(params Params) *Network {
 // Params returns the cost-model parameters.
 func (n *Network) Params() Params { return n.params }
 
+// SetDeliveryScheduler registers the sink that receives one
+// ScheduleDelivery callback per injected message. Passing nil disables
+// scheduling (the polling-style tests drive Recv directly).
+func (n *Network) SetDeliveryScheduler(s DeliveryScheduler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.scheduler = s
+}
+
 // Send injects a message and returns it together with the duration the
 // sender's link is busy (charged to the sender's clock by the rank
 // runtime). The arrival time is computed from the piggybacked stamp.
 func (n *Network) Send(src, dst, tag int, bytes uint64, sent vtime.Stamp) (*Message, vtime.Duration) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	busy := n.params.SerializeCost(bytes)
 	n.nextSeq++
 	m := &Message{
@@ -190,6 +222,15 @@ func (n *Network) Send(src, dst, tag int, bytes uint64, sent vtime.Stamp) (*Mess
 	pc := n.counters[p]
 	pc.Sent++
 	n.counters[p] = pc
+	n.inflight++
+	scheduler := n.scheduler
+	n.mu.Unlock()
+	// The delivery event is scheduled outside the lock: the scheduler
+	// callback pushes onto the coordinator's event queue and must be free
+	// to inspect the network.
+	if scheduler != nil {
+		scheduler.ScheduleDelivery(m)
+	}
 	return m, busy
 }
 
@@ -208,6 +249,7 @@ func (n *Network) Recv(dst, src int) *Message {
 	pc := n.counters[p]
 	pc.Received++
 	n.counters[p] = pc
+	n.inflight--
 	return m
 }
 
@@ -232,20 +274,19 @@ func (n *Network) DrainTo(dst int) []*Message {
 		pc := n.counters[p]
 		pc.Received += uint64(len(q))
 		n.counters[p] = pc
+		n.inflight -= uint64(len(q))
 		delete(n.queues, p)
 	}
 	return out
 }
 
 // InFlight returns the total number of sent-but-not-received messages.
+// It is O(1): the count is maintained incrementally so the scheduler can
+// consult it after every event.
 func (n *Network) InFlight() uint64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	var total uint64
-	for _, q := range n.queues {
-		total += uint64(len(q))
-	}
-	return total
+	return n.inflight
 }
 
 // InFlightTo returns the number of in-flight messages destined for dst.
@@ -291,6 +332,9 @@ func (n *Network) Restore(c Counters) {
 	defer n.mu.Unlock()
 	n.queues = make(map[Pair][]*Message)
 	n.counters = c.Clone()
+	// The queues are the ground truth for deliverable messages, and they
+	// have just been discarded (a correct checkpoint drains to zero).
+	n.inflight = 0
 }
 
 // TotalSent returns the total number of messages ever sent.

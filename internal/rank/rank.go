@@ -9,10 +9,15 @@
 // MANA per-call overhead (FS-register round trip + handle-virtualisation
 // lookups + record/replay metadata, paper §3.3) on every MPI call.
 //
-// The rank does not schedule itself: the coordinator's deterministic
-// scheduler drives it one operation at a time, because collectives and
-// checkpoints need a global view. The rank exposes exactly the state
-// transitions the scheduler and the two-phase checkpoint protocol need.
+// The rank does not schedule itself: the coordinator's event-driven
+// scheduler drives it, because collectives and checkpoints need a global
+// view. The rank exposes exactly the transitions the virtual-time event
+// loop needs: NextReady reports when the rank can next act, Execute runs
+// one operation atomically and reports whether the rank advanced, blocked
+// on a receive or arrived at a collective, and Wake retries a blocked
+// receive when a delivery event makes a matching message available. A
+// blocked or collective-waiting rank has no ready time and therefore
+// consumes zero scheduler work until an event transitions it back.
 package rank
 
 import (
@@ -75,6 +80,10 @@ const (
 	// Running means the rank is between operations and can start its next
 	// scripted op.
 	Running State = iota
+	// BlockedRecv means the rank has posted a receive with no matching
+	// message available; it consumes no scheduler work until a delivery
+	// event wakes it.
+	BlockedRecv
 	// InCollective means the rank has arrived at a collective and is
 	// waiting for the remaining participants.
 	InCollective
@@ -87,6 +96,8 @@ func (s State) String() string {
 	switch s {
 	case Running:
 		return "running"
+	case BlockedRecv:
+		return "blocked-recv"
 	case InCollective:
 		return "in-collective"
 	case Done:
@@ -149,6 +160,10 @@ type Rank struct {
 	// this rank before the application posted the matching receive.
 	// Receives consume the inbox (per-sender FIFO) before the network.
 	inbox []netsim.Message
+
+	// blockedPeer is the source rank of the receive this rank is blocked
+	// on, meaningful only while state == BlockedRecv.
+	blockedPeer int
 
 	// stateRegion is the upper-half data region workload steps write to,
 	// so that memory contents — and therefore snapshot fingerprints —
@@ -339,6 +354,101 @@ func (r *Rank) completeRecv(m netsim.Message) {
 	r.stats.BytesRecvd += m.Bytes
 	r.writeStateMarker()
 	r.pc++
+}
+
+// TransitionKind classifies the outcome of one Execute call.
+type TransitionKind int
+
+const (
+	// Advanced means the operation completed and the rank's clock moved;
+	// if the script is not exhausted the rank is immediately ready again.
+	Advanced TransitionKind = iota
+	// BlockedOnRecv means the rank posted a receive with no matching
+	// message; it must not be rescheduled until a delivery wakes it.
+	BlockedOnRecv
+	// JoinedCollective means the rank entered the collective
+	// rendezvous and is waiting for the remaining participants.
+	JoinedCollective
+)
+
+// Transition reports the effect of one Execute call, carrying exactly
+// what the event loop needs to schedule follow-up events.
+type Transition struct {
+	Kind TransitionKind
+	// Op is the operation that was attempted.
+	Op Op
+	// Msg is the injected message for an Advanced send (its delivery
+	// event is scheduled by the network's DeliveryScheduler hook).
+	Msg *netsim.Message
+	// Stamp is the arrival stamp for JoinedCollective.
+	Stamp vtime.Stamp
+}
+
+// NextReady reports when the rank can next execute an operation. It
+// returns false for a rank that is done, blocked on a receive or waiting
+// in a collective: such ranks have no ready time and are woken by events
+// instead of being polled.
+func (r *Rank) NextReady() (vtime.Time, bool) {
+	if r.State() != Running {
+		return 0, false
+	}
+	return r.clock.Now(), true
+}
+
+// Execute runs the rank's next scripted operation atomically and returns
+// the resulting transition. Callers must only invoke it when NextReady
+// reports true.
+func (r *Rank) Execute(net *netsim.Network) Transition {
+	op := r.Op()
+	switch op.Kind {
+	case OpCompute:
+		r.DoCompute(op)
+		return Transition{Kind: Advanced, Op: op}
+	case OpSend:
+		m := r.DoSend(net, op)
+		return Transition{Kind: Advanced, Op: op, Msg: m}
+	case OpRecv:
+		if r.TryRecv(net, op) {
+			return Transition{Kind: Advanced, Op: op}
+		}
+		r.state = BlockedRecv
+		r.blockedPeer = op.Peer
+		return Transition{Kind: BlockedOnRecv, Op: op}
+	case OpBarrier, OpAllreduce:
+		return Transition{Kind: JoinedCollective, Op: op, Stamp: r.ArriveAtCollective()}
+	case OpSbrk:
+		r.DoSbrk(op)
+		return Transition{Kind: Advanced, Op: op}
+	default:
+		panic(fmt.Sprintf("rank %d: Execute of unknown op kind %v", r.id, op.Kind))
+	}
+}
+
+// BlockedOn returns the peer of the receive the rank is blocked on; ok is
+// false unless the rank is in BlockedRecv.
+func (r *Rank) BlockedOn() (peer int, ok bool) {
+	if r.state != BlockedRecv {
+		return 0, false
+	}
+	return r.blockedPeer, true
+}
+
+// Wake retries the blocked receive after a delivery (or a checkpoint
+// drain) may have made a matching message available. It returns true if
+// the receive completed, leaving the rank Running (or Done) and ready to
+// be rescheduled; false if the rank was not blocked or still has no
+// matching message.
+func (r *Rank) Wake(net *netsim.Network) bool {
+	if r.state != BlockedRecv {
+		return false
+	}
+	op := r.script[r.pc]
+	r.state = Running
+	if r.TryRecv(net, op) {
+		return true
+	}
+	r.state = BlockedRecv
+	return false
 }
 
 // ArriveAtCollective executes the rank-local half of a collective: charge

@@ -182,6 +182,103 @@ func TestStatsRestoredFromImage(t *testing.T) {
 	}
 }
 
+func TestExecuteTransitions(t *testing.T) {
+	net := testNet()
+	r := New(0, kernelsim.Patched, []Op{
+		{Kind: OpCompute, Dur: 1 * vtime.Millisecond},
+		{Kind: OpRecv, Peer: 1},
+		{Kind: OpBarrier},
+	})
+
+	if tm, ok := r.NextReady(); !ok || tm != 0 {
+		t.Fatalf("NextReady = (%v, %v), want (0, true)", tm, ok)
+	}
+	tr := r.Execute(net)
+	if tr.Kind != Advanced || tr.Op.Kind != OpCompute {
+		t.Fatalf("compute transition = %+v, want Advanced/compute", tr)
+	}
+	if tm, ok := r.NextReady(); !ok || tm != r.Clock().Now() {
+		t.Fatalf("NextReady after compute = (%v, %v), want clock time", tm, ok)
+	}
+
+	// Receive with nothing in flight: the rank blocks and reports the
+	// peer it waits on; a blocked rank has no ready time.
+	tr = r.Execute(net)
+	if tr.Kind != BlockedOnRecv {
+		t.Fatalf("recv transition = %+v, want BlockedOnRecv", tr)
+	}
+	if r.State() != BlockedRecv {
+		t.Fatalf("state = %v, want blocked-recv", r.State())
+	}
+	if peer, ok := r.BlockedOn(); !ok || peer != 1 {
+		t.Errorf("BlockedOn = (%d, %v), want (1, true)", peer, ok)
+	}
+	if _, ok := r.NextReady(); ok {
+		t.Error("blocked rank reported a ready time")
+	}
+
+	// A wake with no matching message leaves the rank blocked.
+	if r.Wake(net) {
+		t.Fatal("Wake succeeded with nothing in flight")
+	}
+	if r.State() != BlockedRecv {
+		t.Fatalf("state after failed wake = %v, want blocked-recv", r.State())
+	}
+
+	// A wake after the matching send completes the receive.
+	sender := New(1, kernelsim.Patched, []Op{{Kind: OpSend, Peer: 0, Bytes: 100}})
+	sender.Execute(net)
+	if !r.Wake(net) {
+		t.Fatal("Wake failed with a matching message in flight")
+	}
+	if r.Stats().MsgsRecvd != 1 {
+		t.Errorf("MsgsRecvd = %d, want 1", r.Stats().MsgsRecvd)
+	}
+
+	// The barrier transition hands back the arrival stamp.
+	tr = r.Execute(net)
+	if tr.Kind != JoinedCollective {
+		t.Fatalf("barrier transition = %+v, want JoinedCollective", tr)
+	}
+	if tr.Stamp.Rank != 0 || tr.Stamp.When != r.Clock().Now() {
+		t.Errorf("arrival stamp %+v inconsistent with clock %v", tr.Stamp, r.Clock().Now())
+	}
+	if _, ok := r.NextReady(); ok {
+		t.Error("in-collective rank reported a ready time")
+	}
+	r.FinishCollective(r.Clock().Now().Add(1 * vtime.Microsecond))
+	if r.State() != Done {
+		t.Errorf("state = %v, want done after script exhausted", r.State())
+	}
+	if _, ok := r.NextReady(); ok {
+		t.Error("done rank reported a ready time")
+	}
+}
+
+func TestWakeConsumesInboxBeforeNetwork(t *testing.T) {
+	net := testNet()
+	r := New(1, kernelsim.Patched, []Op{{Kind: OpRecv, Peer: 0}})
+	if tr := r.Execute(net); tr.Kind != BlockedOnRecv {
+		t.Fatalf("transition = %+v, want BlockedOnRecv", tr)
+	}
+	// A checkpoint drain buffers the message into the inbox while the
+	// rank is blocked; the wake must find it there.
+	sender := New(0, kernelsim.Patched, []Op{{Kind: OpSend, Peer: 1, Bytes: 64}})
+	sender.Execute(net)
+	for _, m := range net.DrainTo(1) {
+		r.BufferDrained(m)
+	}
+	if !r.Wake(net) {
+		t.Fatal("Wake failed to consume the drain-buffered message")
+	}
+	if r.InboxLen() != 0 {
+		t.Errorf("inbox not consumed: %d left", r.InboxLen())
+	}
+	if r.State() != Done {
+		t.Errorf("state = %v, want done", r.State())
+	}
+}
+
 func TestGenerateScriptSPMDCollectives(t *testing.T) {
 	cfg := DefaultWorkload(4, 20, 7)
 	var wantColl []OpKind

@@ -1,0 +1,116 @@
+package vtime
+
+// EventQueue is a deterministic priority queue of scheduler events keyed
+// on virtual time. It is the core data structure of the event-driven
+// scheduler: instead of scanning every rank on every iteration, the
+// coordinator pushes one event per state transition (rank ready, message
+// delivery, collective completion, checkpoint trigger, failure) and pops
+// them in virtual-time order, so idle ranks cost nothing.
+//
+// Ties are broken FIFO on a monotonically increasing sequence number
+// assigned at Push, which makes the dispatch order a deterministic
+// function of the push order alone: two events at the same virtual time
+// pop in the order they were scheduled, never in map-iteration or heap
+// -internal order. This is what keeps reports byte-identical across runs
+// of the same seed.
+//
+// The queue is not safe for concurrent use; the deterministic scheduler
+// drives it from a single goroutine.
+type EventQueue[T any] struct {
+	heap []eventEntry[T]
+	seq  uint64
+}
+
+type eventEntry[T any] struct {
+	time Time
+	seq  uint64
+	val  T
+}
+
+// NewEventQueue returns an empty queue.
+func NewEventQueue[T any]() *EventQueue[T] {
+	return &EventQueue[T]{}
+}
+
+// Len returns the number of scheduled events.
+func (q *EventQueue[T]) Len() int { return len(q.heap) }
+
+// Push schedules v at virtual time t.
+func (q *EventQueue[T]) Push(t Time, v T) {
+	q.seq++
+	q.heap = append(q.heap, eventEntry[T]{time: t, seq: q.seq, val: v})
+	q.siftUp(len(q.heap) - 1)
+}
+
+// Pop removes and returns the earliest event; ties pop in Push order.
+// The third result is false when the queue is empty.
+func (q *EventQueue[T]) Pop() (Time, T, bool) {
+	if len(q.heap) == 0 {
+		var zero T
+		return 0, zero, false
+	}
+	top := q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap[last] = eventEntry[T]{} // release the payload for GC
+	q.heap = q.heap[:last]
+	if last > 0 {
+		q.siftDown(0)
+	}
+	return top.time, top.val, true
+}
+
+// PeekTime returns the virtual time of the earliest event without
+// removing it; false when the queue is empty.
+func (q *EventQueue[T]) PeekTime() (Time, bool) {
+	if len(q.heap) == 0 {
+		return 0, false
+	}
+	return q.heap[0].time, true
+}
+
+// Clear discards every scheduled event. The sequence counter is NOT
+// reset: events pushed after a Clear still order after everything pushed
+// before it, so a restart that rebuilds the queue keeps a globally
+// consistent tie-break order.
+func (q *EventQueue[T]) Clear() {
+	clear(q.heap) // release the payloads for GC, matching Pop
+	q.heap = q.heap[:0]
+}
+
+func (q *EventQueue[T]) less(i, j int) bool {
+	if q.heap[i].time != q.heap[j].time {
+		return q.heap[i].time < q.heap[j].time
+	}
+	return q.heap[i].seq < q.heap[j].seq
+}
+
+func (q *EventQueue[T]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+func (q *EventQueue[T]) siftDown(i int) {
+	n := len(q.heap)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && q.less(left, smallest) {
+			smallest = left
+		}
+		if right < n && q.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		q.heap[i], q.heap[smallest] = q.heap[smallest], q.heap[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,142 @@
+package vtime
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventQueuePopsInTimeOrder(t *testing.T) {
+	q := NewEventQueue[string]()
+	q.Push(30, "c")
+	q.Push(10, "a")
+	q.Push(20, "b")
+	var got []string
+	for {
+		_, v, ok := q.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("pop order = %v, want [a b c]", got)
+	}
+}
+
+func TestEventQueueFIFOTieBreak(t *testing.T) {
+	q := NewEventQueue[int]()
+	// All at the same time: must pop in push order, not heap order.
+	for i := 0; i < 100; i++ {
+		q.Push(5, i)
+	}
+	for i := 0; i < 100; i++ {
+		tm, v, ok := q.Pop()
+		if !ok || tm != 5 || v != i {
+			t.Fatalf("pop %d = (%v, %d, %v), want (5, %d, true)", i, tm, v, ok, i)
+		}
+	}
+}
+
+func TestEventQueueMixedTimesStableWithinTime(t *testing.T) {
+	q := NewEventQueue[int]()
+	// Interleave pushes at two times; within each time, FIFO must hold.
+	for i := 0; i < 50; i++ {
+		q.Push(Time(i%2), i)
+	}
+	var at0, at1 []int
+	for {
+		tm, v, ok := q.Pop()
+		if !ok {
+			break
+		}
+		if tm == 0 {
+			if len(at1) > 0 {
+				t.Fatal("time-1 event popped before all time-0 events")
+			}
+			at0 = append(at0, v)
+		} else {
+			at1 = append(at1, v)
+		}
+	}
+	if !sort.IntsAreSorted(at0) || !sort.IntsAreSorted(at1) {
+		t.Errorf("FIFO violated within a time bucket: %v / %v", at0, at1)
+	}
+}
+
+func TestEventQueuePeekAndLen(t *testing.T) {
+	q := NewEventQueue[int]()
+	if _, ok := q.PeekTime(); ok {
+		t.Error("PeekTime on empty queue reported an event")
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Error("Pop on empty queue reported an event")
+	}
+	q.Push(42, 1)
+	q.Push(7, 2)
+	if tm, ok := q.PeekTime(); !ok || tm != 7 {
+		t.Errorf("PeekTime = (%v, %v), want (7, true)", tm, ok)
+	}
+	if q.Len() != 2 {
+		t.Errorf("Len = %d, want 2", q.Len())
+	}
+	q.Pop()
+	if q.Len() != 1 {
+		t.Errorf("Len after pop = %d, want 1", q.Len())
+	}
+}
+
+func TestEventQueueClearKeepsSeqMonotone(t *testing.T) {
+	q := NewEventQueue[string]()
+	q.Push(10, "old")
+	q.Clear()
+	if q.Len() != 0 {
+		t.Fatalf("Len after Clear = %d, want 0", q.Len())
+	}
+	// Events pushed after Clear must still tie-break after a fresh push at
+	// the same time in a later epoch — i.e. seq keeps increasing.
+	q.Push(10, "first-after-clear")
+	q.Push(10, "second-after-clear")
+	_, v1, _ := q.Pop()
+	_, v2, _ := q.Pop()
+	if v1 != "first-after-clear" || v2 != "second-after-clear" {
+		t.Errorf("post-Clear order = %q, %q", v1, v2)
+	}
+}
+
+// Property: for any set of (time, id) pushes, popping yields times in
+// non-decreasing order and, within equal times, ids in push order.
+func TestPropertyEventQueueDeterministicOrder(t *testing.T) {
+	f := func(times []uint8) bool {
+		q := NewEventQueue[int]()
+		for i, tm := range times {
+			q.Push(Time(tm), i)
+		}
+		lastTime := Time(-1)
+		lastSeqAtTime := -1
+		for {
+			tm, id, ok := q.Pop()
+			if !ok {
+				break
+			}
+			if tm < lastTime {
+				return false
+			}
+			if tm == lastTime && id < lastSeqAtTime {
+				return false
+			}
+			if tm != lastTime {
+				lastTime = tm
+				lastSeqAtTime = -1
+			}
+			if Time(times[id]) != tm {
+				return false
+			}
+			lastSeqAtTime = id
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
