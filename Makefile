@@ -2,8 +2,11 @@
 # passes locally" and "it passes in CI" mean the same thing.
 
 GO ?= go
+# BENCHTIME feeds -benchtime for the bench-json artifact; CI overrides it
+# to 1x so the benchmarks smoke-run on every push without burning minutes.
+BENCHTIME ?= 1s
 
-.PHONY: all build test race lint fmt bench bench-sched run smoke
+.PHONY: all build test race lint fmt bench bench-sched bench-virtid bench-json run smoke
 
 all: build lint test
 
@@ -33,6 +36,23 @@ bench:
 # bench-sched runs only the event-scheduler scaling benchmarks.
 bench-sched:
 	$(GO) test -bench='BenchmarkScheduler' -benchmem -run=^$$ ./internal/coordinator
+
+# bench-virtid runs the handle-virtualisation contention benchmarks:
+# MutexTable vs ShardedTable at 1/4/16 goroutines, plus request churn.
+bench-virtid:
+	$(GO) test -bench='BenchmarkVirtid' -benchmem -run=^$$ ./internal/virtid
+
+# bench-json regenerates BENCH_sched.json, the machine-readable record of
+# the scheduler and virtid benchmarks (name, ns/op, allocs/op, events)
+# that tracks the perf trajectory across PRs. The bench output goes
+# through a temp file, not a pipe, so a benchmark failure fails the
+# target instead of writing a silently truncated artifact.
+bench-json:
+	$(GO) test -bench='BenchmarkScheduler|BenchmarkVirtid' -benchmem \
+		-benchtime=$(BENCHTIME) -run=^$$ \
+		./internal/coordinator ./internal/virtid > BENCH_sched.tmp
+	$(GO) run ./cmd/benchjson < BENCH_sched.tmp > BENCH_sched.json
+	rm -f BENCH_sched.tmp
 
 run:
 	$(GO) run ./cmd/manasim

@@ -1,0 +1,123 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document on stdout, so benchmark trajectories
+// (scheduler event loop, virtid lookup contention) can be tracked from
+// one artifact — BENCH_sched.json, written by `make bench-json` — from
+// this PR onward instead of being scraped out of CI logs.
+//
+// Standard metrics (ns/op, B/op, allocs/op) become typed fields; any
+// custom testing.B ReportMetric units (events, rank-visits, ...) land in
+// a sorted "metrics" map. Lines that are not benchmark results (goos,
+// pkg, PASS, ...) are ignored, so the tool can be fed the raw output of
+// `go test -bench ... ./...` across multiple packages.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -run='^$' ./... | go run ./cmd/benchjson > BENCH_sched.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line, decoded.
+type Result struct {
+	// Name is the benchmark name with the trailing -GOMAXPROCS suffix
+	// stripped (BenchmarkVirtidLookupSharded/goroutines=16).
+	Name string `json:"name"`
+	// Iterations is the b.N the reported per-op figures were averaged
+	// over.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the wall-clock cost per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present when -benchmem was on.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom ReportMetric values (events, rank-visits, ...)
+	// keyed by their unit. encoding/json marshals map keys sorted, so the
+	// artifact is deterministic.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Document is the whole artifact.
+type Document struct {
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// suffixRe matches the -GOMAXPROCS suffix Go appends to benchmark names.
+var suffixRe = regexp.MustCompile(`-\d+$`)
+
+// parseLine decodes one `go test -bench` output line; ok is false for
+// non-benchmark lines. The format is:
+//
+//	BenchmarkName-P  N  <value> <unit>  [<value> <unit> ...]
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{
+		Name:       suffixRe.ReplaceAllString(fields[0], ""),
+		Iterations: iters,
+	}
+	sawNsPerOp := false
+	// The remaining fields are (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+			sawNsPerOp = true
+		case "B/op":
+			b := v
+			r.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			r.AllocsPerOp = &a
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return r, sawNsPerOp
+}
+
+// run converts bench output from in to a JSON document on out.
+func run(in io.Reader, out io.Writer) error {
+	doc := Document{Benchmarks: []Result{}}
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		if r, ok := parseLine(scanner.Text()); ok {
+			doc.Benchmarks = append(doc.Benchmarks, r)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return fmt.Errorf("reading bench output: %w", err)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

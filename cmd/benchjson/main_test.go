@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: mana/internal/coordinator
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkScheduler512Ranks 	     300	    751778 ns/op	      2044 events	      2044 rank-visits	  207624 B/op	    1054 allocs/op
+PASS
+ok  	mana/internal/coordinator	36.024s
+pkg: mana/internal/virtid
+BenchmarkVirtidLookupMutex/goroutines=16-1         	11432370	        56.66 ns/op	       0 B/op	       0 allocs/op
+BenchmarkVirtidLookupSharded/goroutines=16-1       	73221879	         7.699 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNoMem-8	100	50.0 ns/op
+PASS
+`
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkVirtidLookupSharded/goroutines=16-1   73221879   7.699 ns/op   0 B/op   0 allocs/op")
+	if !ok {
+		t.Fatal("parseLine rejected a valid benchmark line")
+	}
+	if r.Name != "BenchmarkVirtidLookupSharded/goroutines=16" {
+		t.Errorf("name = %q; the -GOMAXPROCS suffix must be stripped", r.Name)
+	}
+	if r.Iterations != 73221879 || r.NsPerOp != 7.699 {
+		t.Errorf("iterations/ns = %d/%v", r.Iterations, r.NsPerOp)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 0 || r.AllocsPerOp == nil || *r.AllocsPerOp != 0 {
+		t.Errorf("benchmem fields not decoded: %+v", r)
+	}
+
+	for _, junk := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  	mana/internal/virtid	3.912s",
+		"BenchmarkBroken notanumber 5 ns/op",
+		"",
+	} {
+		if _, ok := parseLine(junk); ok {
+			t.Errorf("parseLine accepted non-benchmark line %q", junk)
+		}
+	}
+}
+
+func TestRunProducesDeterministicJSON(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader(sampleBenchOutput), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var doc Document
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(doc.Benchmarks) != 4 {
+		t.Fatalf("decoded %d benchmarks, want 4", len(doc.Benchmarks))
+	}
+	sched := doc.Benchmarks[0]
+	if sched.Name != "BenchmarkScheduler512Ranks" {
+		t.Errorf("first benchmark = %q", sched.Name)
+	}
+	if sched.Metrics["events"] != 2044 || sched.Metrics["rank-visits"] != 2044 {
+		t.Errorf("custom metrics not captured: %+v", sched.Metrics)
+	}
+	if sched.AllocsPerOp == nil || *sched.AllocsPerOp != 1054 {
+		t.Errorf("allocs/op not captured: %+v", sched)
+	}
+	if noMem := doc.Benchmarks[3]; noMem.BytesPerOp != nil || noMem.AllocsPerOp != nil {
+		t.Errorf("benchmark without -benchmem grew memory fields: %+v", noMem)
+	}
+
+	// Same input, same bytes: the artifact is diffable across runs.
+	var again strings.Builder
+	if err := run(strings.NewReader(sampleBenchOutput), &again); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if out.String() != again.String() {
+		t.Error("benchjson output is not byte-identical for identical input")
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader("no benchmarks here\n"), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), `"benchmarks": []`) {
+		t.Errorf("empty input should yield an empty benchmark list, got %s", out.String())
+	}
+}

@@ -13,7 +13,7 @@
 // Usage:
 //
 //	go run ./cmd/manasim [-ranks 8] [-steps 30] [-seed 42] [-kernel unpatched|patched]
-//	                     [-ckpt-at 5ms] [-fail-after 2] [-no-fail]
+//	                     [-virtid sharded|mutex] [-ckpt-at 5ms] [-fail-after 2] [-no-fail]
 package main
 
 import (
@@ -26,6 +26,7 @@ import (
 	"mana/internal/coordinator"
 	"mana/internal/kernelsim"
 	"mana/internal/rank"
+	"mana/internal/virtid"
 	"mana/internal/vtime"
 )
 
@@ -35,6 +36,7 @@ type scenario struct {
 	Steps     int
 	Seed      uint64
 	Kernel    string
+	Virtid    string
 	CkptAt    time.Duration
 	FailAfter int
 	NoFail    bool
@@ -48,6 +50,7 @@ func defaultScenario() scenario {
 		Steps:     30,
 		Seed:      42,
 		Kernel:    "unpatched",
+		Virtid:    "sharded",
 		CkptAt:    5 * time.Millisecond,
 		FailAfter: 2,
 	}
@@ -72,10 +75,15 @@ func buildConfig(s scenario) (coordinator.Config, error) {
 	default:
 		return cfg, fmt.Errorf("unknown -kernel %q (want unpatched or patched)", s.Kernel)
 	}
+	impl, err := virtid.ParseImpl(s.Virtid)
+	if err != nil {
+		return cfg, fmt.Errorf("-virtid: %w", err)
+	}
 
 	cfg = coordinator.DefaultConfig()
 	cfg.Ranks = s.Ranks
 	cfg.Personality = personality
+	cfg.Virtid = impl
 	cfg.Seed = s.Seed
 	cfg.Workload = rank.DefaultWorkload(s.Ranks, s.Steps, s.Seed)
 	cfg.Triggers = []coordinator.Trigger{
@@ -126,6 +134,7 @@ func main() {
 	flag.IntVar(&s.Steps, "steps", def.Steps, "workload iterations per rank")
 	flag.Uint64Var(&s.Seed, "seed", def.Seed, "deterministic seed for workload jitter and ckpt stragglers")
 	flag.StringVar(&s.Kernel, "kernel", def.Kernel, "kernel personality: unpatched or patched")
+	flag.StringVar(&s.Virtid, "virtid", def.Virtid, "handle-virtualisation table: sharded (lock-free reads) or mutex (MANA baseline)")
 	flag.DurationVar(&s.CkptAt, "ckpt-at", def.CkptAt, "virtual time of the first checkpoint request")
 	flag.IntVar(&s.FailAfter, "fail-after", def.FailAfter, "inject a failure after this checkpoint commits (0 = never)")
 	flag.BoolVar(&s.NoFail, "no-fail", def.NoFail, "disable the failure/restart scenario")

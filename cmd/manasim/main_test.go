@@ -4,6 +4,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -98,6 +99,41 @@ func TestKernelFlagChangesReport(t *testing.T) {
 	}
 }
 
+// TestVirtidFlagChangesReport exercises the -virtid plumbing: the mutex
+// baseline charges a higher per-lookup cost, so the report must differ
+// from the sharded default.
+func TestVirtidFlagChangesReport(t *testing.T) {
+	s := defaultScenario()
+	s.Ranks = 4
+	s.Steps = 6
+	s.NoFail = true
+	cfg, err := buildConfig(s)
+	if err != nil {
+		t.Fatalf("buildConfig: %v", err)
+	}
+	sharded, err := runScenario(cfg)
+	if err != nil {
+		t.Fatalf("sharded run: %v", err)
+	}
+	s.Virtid = "mutex"
+	cfg, err = buildConfig(s)
+	if err != nil {
+		t.Fatalf("buildConfig: %v", err)
+	}
+	mutex, err := runScenario(cfg)
+	if err != nil {
+		t.Fatalf("mutex run: %v", err)
+	}
+	if sharded == mutex {
+		t.Error("virtid implementation had no effect on the report")
+	}
+	for report, want := range map[string]string{sharded: "impl=sharded", mutex: "impl=mutex"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report does not name its virtid implementation (%s)", want)
+		}
+	}
+}
+
 // TestBuildConfigValidation covers the error paths that used to live in
 // main's flag handling.
 func TestBuildConfigValidation(t *testing.T) {
@@ -108,6 +144,7 @@ func TestBuildConfigValidation(t *testing.T) {
 		{"zero ranks", func(s *scenario) { s.Ranks = 0 }},
 		{"negative steps", func(s *scenario) { s.Steps = -1 }},
 		{"unknown kernel", func(s *scenario) { s.Kernel = "plan9" }},
+		{"unknown virtid", func(s *scenario) { s.Virtid = "bogolock" }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

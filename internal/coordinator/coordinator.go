@@ -49,6 +49,7 @@ import (
 	"mana/internal/memsim"
 	"mana/internal/netsim"
 	"mana/internal/rank"
+	"mana/internal/virtid"
 	"mana/internal/vtime"
 )
 
@@ -74,6 +75,10 @@ type Config struct {
 	Ranks int
 	// Personality selects the kernel cost model for every node.
 	Personality kernelsim.Personality
+	// Virtid selects the handle-virtualisation table implementation every
+	// rank uses on its per-call hot path (and thereby the calibrated
+	// per-lookup cost the kernel model charges).
+	Virtid virtid.Impl
 	// Net is the interconnect cost model.
 	Net netsim.Params
 	// Workload parameterises the generated SPMD scripts.
@@ -110,6 +115,7 @@ func DefaultConfig() Config {
 	return Config{
 		Ranks:              8,
 		Personality:        kernelsim.Unpatched,
+		Virtid:             virtid.ImplSharded,
 		Net:                netsim.DefaultParams(),
 		Workload:           rank.DefaultWorkload(8, 30, 42),
 		CkptWriteBandwidth: 2e9,
@@ -277,6 +283,12 @@ func New(cfg Config) *Coordinator {
 		queue:    vtime.NewEventQueue[event](),
 		triggers: append([]Trigger(nil), cfg.Triggers...),
 		fired:    make([]bool, len(cfg.Triggers)),
+		// Collective rendezvous scratch is preallocated at full fan-in and
+		// reused across collectives, so the steady-state event loop never
+		// grows it.
+		ranks:      make([]*rank.Rank, 0, cfg.Ranks),
+		collStamps: make([]vtime.Stamp, 0, cfg.Ranks),
+		collRanks:  make([]int, 0, cfg.Ranks),
 	}
 	c.net.SetDeliveryScheduler(c)
 	for i, t := range c.triggers {
@@ -289,7 +301,7 @@ func New(cfg Config) *Coordinator {
 		} else {
 			script = rank.GenerateScript(id, cfg.Workload)
 		}
-		r := rank.New(id, cfg.Personality, script)
+		r := rank.New(id, cfg.Personality, cfg.Virtid, script)
 		c.ranks = append(c.ranks, r)
 		if r.State() == rank.Done {
 			c.doneCount++
@@ -465,8 +477,11 @@ func (c *Coordinator) completeCollective(completion vtime.Time) {
 		}
 	}
 	c.noteClock(completion)
-	c.collStamps = nil
-	c.collRanks = nil
+	// Reset the rendezvous scratch in place: the backing arrays were
+	// preallocated at full fan-in in New and are reused for the next
+	// collective instead of being reallocated per completion.
+	c.collStamps = c.collStamps[:0]
+	c.collRanks = c.collRanks[:0]
 	c.collScheduled = false
 }
 
@@ -631,6 +646,19 @@ func (c *Coordinator) checkpoint() error {
 		for _, m := range img.Inbox {
 			fmt.Fprintf(h, "in(%d,%d,%d,%d,%d);", m.Src, m.Dst, m.Tag, m.Bytes, m.Arrive)
 		}
+		// The virtid snapshot is deterministic by construction (entries
+		// sorted by virtual id, never map iteration order), so it can be
+		// digested directly.
+		for k := 0; k < virtid.NumKinds; k++ {
+			fmt.Fprintf(h, "vt(%d,%d", k, img.Virt.Next[k])
+			for _, e := range img.Virt.Entries[k] {
+				fmt.Fprintf(h, ",%d=%x", e.VID, e.Real)
+			}
+			fmt.Fprint(h, ");")
+		}
+		for _, req := range img.PendingReqs {
+			fmt.Fprintf(h, "pr(%d);", req)
+		}
 		images[i] = img
 	}
 	rec.Fingerprint = h.Sum64()
@@ -664,8 +692,8 @@ func (c *Coordinator) Restart() error {
 		r.ChargeCkptOverhead(r.Kernel().RestartReinitCost() + readTime)
 	}
 	c.net.Restore(c.last.counters)
-	c.collStamps = nil
-	c.collRanks = nil
+	c.collStamps = c.collStamps[:0]
+	c.collRanks = c.collRanks[:0]
 	c.collScheduled = false
 	// Checkpoint requests fired in the abandoned timeline die with it: a
 	// request references scheduler state (clocks, collective progress)
@@ -718,8 +746,8 @@ func (c *Coordinator) FinalFingerprint() uint64 {
 // final fingerprint. Two identical runs produce byte-identical reports.
 func (c *Coordinator) Report() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "manasim: %d ranks, kernel=%v, seed=%d\n",
-		c.cfg.Ranks, c.cfg.Personality, c.cfg.Seed)
+	fmt.Fprintf(&b, "manasim: %d ranks, kernel=%v, virtid=%v, seed=%d\n",
+		c.cfg.Ranks, c.cfg.Personality, c.cfg.Virtid, c.cfg.Seed)
 	fmt.Fprintf(&b, "job: makespan=%v, events=%d, rank-visits=%d, messages sent=%d\n",
 		c.MaxClock(), c.events, c.rankVisits, c.net.TotalSent())
 
@@ -748,10 +776,35 @@ func (c *Coordinator) Report() string {
 		}
 	}
 
+	lk := c.LookupStats()
+	fmt.Fprintf(&b, "\nvirtid: impl=%v, per-lookup=%v, per-write=%v\n",
+		c.cfg.Virtid, c.cfg.Virtid.LookupCost(), c.cfg.Virtid.WriteCost())
+	fmt.Fprintf(&b, "  lookups: total=%d (comm=%d datatype=%d request=%d), modelled time=%v\n",
+		lk.HandleLookups, lk.CommLookups, lk.DatatypeLookups, lk.RequestLookups, lk.LookupTime)
+	fmt.Fprintf(&b, "  writes: total=%d, modelled time=%v\n", lk.HandleWrites, lk.WriteTime)
+
 	mem := c.memorySummary()
 	fmt.Fprintf(&b, "\nmemory (rank 0): upper=%d bytes, lower=%d bytes\n", mem[0], mem[1])
 	fmt.Fprintf(&b, "final fingerprint: %016x\n", c.FinalFingerprint())
 	return b.String()
+}
+
+// LookupStats aggregates the per-rank handle-virtualisation accounting
+// in rank order — plain counter sums, so table iteration order never
+// influences the (byte-identical) report.
+func (c *Coordinator) LookupStats() rank.Stats {
+	var total rank.Stats
+	for _, r := range c.ranks {
+		st := r.Stats()
+		total.HandleLookups += st.HandleLookups
+		total.CommLookups += st.CommLookups
+		total.DatatypeLookups += st.DatatypeLookups
+		total.RequestLookups += st.RequestLookups
+		total.HandleWrites += st.HandleWrites
+		total.LookupTime += st.LookupTime
+		total.WriteTime += st.WriteTime
+	}
+	return total
 }
 
 func (c *Coordinator) memorySummary() [2]uint64 {

@@ -8,6 +8,7 @@ import (
 	"mana/internal/kernelsim"
 	"mana/internal/netsim"
 	"mana/internal/rank"
+	"mana/internal/virtid"
 	"mana/internal/vtime"
 )
 
@@ -410,5 +411,125 @@ func BenchmarkRun(b *testing.B) {
 		if _, err := c.Run(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestVirtidTableRebuiltDeterministicallyOnRestart stages a checkpoint
+// that lands while a nonblocking request is outstanding: rank 0 isends
+// and blocks in a receive before its wait, and the in-flight trigger
+// fires the checkpoint in exactly that window. After the injected
+// failure and restart, the restored rank must hold the live request —
+// resolving in a freshly rebuilt table — and the replayed run must end
+// bit-identical to an uncheckpointed one, request accounting included.
+func TestVirtidTableRebuiltDeterministicallyOnRestart(t *testing.T) {
+	base := smallConfig(2, 0)
+	script := func(id int) []rank.Op {
+		if id == 0 {
+			return []rank.Op{
+				{Kind: rank.OpIsend, Peer: 1, Bytes: 2048, Tag: 7},
+				{Kind: rank.OpRecv, Peer: 1, Tag: 8},
+				{Kind: rank.OpWait},
+			}
+		}
+		return []rank.Op{
+			{Kind: rank.OpCompute, Dur: 50 * vtime.Microsecond},
+			{Kind: rank.OpRecv, Peer: 0, Tag: 7},
+			{Kind: rank.OpSend, Peer: 0, Bytes: 2048, Tag: 8},
+		}
+	}
+	base.ScriptFor = script
+
+	cfg := base
+	cfg.Triggers = []Trigger{{At: 0, InFlight: true}}
+	cfg.FailAtCheckpoint = 1
+	cfg.FailDelay = 10 * vtime.Microsecond
+
+	c := New(cfg)
+	outcome, err := c.Run()
+	if err != nil || outcome != Failed {
+		t.Fatalf("Run = %v, %v; want failed (failure injection armed)", outcome, err)
+	}
+	if len(c.Records()) != 1 {
+		t.Fatalf("checkpoints = %d, want 1", len(c.Records()))
+	}
+	if err := c.Restart(); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+
+	// Immediately after restart: rank 0's live request must have survived
+	// through the image into a rebuilt table.
+	r0 := c.Ranks()[0]
+	pending := r0.PendingRequests()
+	if len(pending) != 1 {
+		t.Fatalf("restored pending requests = %d, want 1 (checkpoint landed between isend and wait)", len(pending))
+	}
+	if _, ok := r0.Virtid().Lookup(virtid.Request, pending[0]); !ok {
+		t.Error("restored live request does not resolve in the rebuilt table")
+	}
+	if got := r0.Virtid().Len(virtid.Request); got != 1 {
+		t.Errorf("rebuilt request table has %d entries, want 1", got)
+	}
+
+	outcome, err = c.Run()
+	if err != nil || outcome != Completed {
+		t.Fatalf("post-restart run = %v, %v", outcome, err)
+	}
+
+	plain := New(base)
+	if outcome, err := plain.Run(); err != nil || outcome != Completed {
+		t.Fatalf("uncheckpointed run = %v, %v", outcome, err)
+	}
+	for i := range plain.Ranks() {
+		if ps, cs := plain.Ranks()[i].Stats(), c.Ranks()[i].Stats(); ps != cs {
+			t.Errorf("rank %d stats diverge (lookup accounting included):\n  uncheckpointed %+v\n  restarted      %+v", i, ps, cs)
+		}
+	}
+	if pf, cf := plain.FinalFingerprint(), c.FinalFingerprint(); pf != cf {
+		t.Errorf("final fingerprints diverge: %016x vs %016x", pf, cf)
+	}
+	// Every rank's table ends in the same terminal state as the
+	// uncheckpointed run's: requests all retired, comm and datatype live.
+	for i, cr := range c.Ranks() {
+		if got := cr.Virtid().Len(virtid.Request); got != 0 {
+			t.Errorf("rank %d ends with %d live requests, want 0", i, got)
+		}
+		if cr.Virtid().Len(virtid.Comm) != 1 || cr.Virtid().Len(virtid.Datatype) != 1 {
+			t.Errorf("rank %d lost its init-time handles", i)
+		}
+	}
+}
+
+// TestLookupStatsAggregation pins the report's virtid accounting: the
+// aggregate is the plain sum of per-rank counters, and the mutex and
+// sharded implementations perform identical lookup counts (only the
+// modelled cost differs).
+func TestLookupStatsAggregation(t *testing.T) {
+	run := func(impl virtid.Impl) *Coordinator {
+		cfg := smallConfig(4, 8)
+		cfg.Virtid = impl
+		c := New(cfg)
+		if outcome, err := c.Run(); err != nil || outcome != Completed {
+			t.Fatalf("%v run = %v, %v", impl, outcome, err)
+		}
+		return c
+	}
+	mutex, sharded := run(virtid.ImplMutex), run(virtid.ImplSharded)
+	ml, sl := mutex.LookupStats(), sharded.LookupStats()
+	if ml.HandleLookups == 0 {
+		t.Fatal("workload performed no handle lookups")
+	}
+	if ml.HandleLookups != sl.HandleLookups || ml.CommLookups != sl.CommLookups ||
+		ml.DatatypeLookups != sl.DatatypeLookups || ml.RequestLookups != sl.RequestLookups {
+		t.Errorf("lookup counts differ across implementations: mutex %+v vs sharded %+v", ml, sl)
+	}
+	if ml.HandleLookups != ml.CommLookups+ml.DatatypeLookups+ml.RequestLookups {
+		t.Errorf("total %d != sum of per-kind counts %+v", ml.HandleLookups, ml)
+	}
+	if ml.LookupTime <= sl.LookupTime {
+		t.Errorf("mutex modelled lookup time %v should exceed sharded %v", ml.LookupTime, sl.LookupTime)
+	}
+	wantMutex := vtime.Duration(ml.HandleLookups) * virtid.MutexLookupCost
+	if ml.LookupTime != wantMutex {
+		t.Errorf("mutex LookupTime = %v, want %v (lookups x calibrated cost)", ml.LookupTime, wantMutex)
 	}
 }

@@ -1,6 +1,7 @@
 package coordinator
 
 import (
+	"runtime"
 	"testing"
 
 	"mana/internal/rank"
@@ -112,13 +113,34 @@ func TestIdleHeavy4096Ranks(t *testing.T) {
 // bookkeeping) is excluded from the timing so the numbers track
 // scheduler work, which is the quantity that must scale with events
 // rather than ranks.
-func benchScheduler(b *testing.B, ranks int) {
+//
+// maxAllocsPerEvent, when positive, asserts a ceiling on steady-state
+// allocations per dispatched event inside Run: the event loop reuses its
+// rendezvous scratch and queue storage, so the only per-event allocation
+// left is the network message a send injects. The assertion pins that —
+// a regression that starts allocating per event fails the benchmark
+// rather than silently shifting the numbers.
+func benchScheduler(b *testing.B, ranks int, maxAllocsPerEvent float64) {
 	b.ReportAllocs()
+	var ms runtime.MemStats
+	var runAllocs, runEvents uint64
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		c := New(idleHeavyConfig(ranks))
+		// Collect construction garbage outside the timed section: rank
+		// setup allocates far more than the event loop does, and a GC
+		// cycle triggered mid-Run would charge that cleanup to the
+		// scheduler numbers.
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		startAllocs := ms.Mallocs
 		b.StartTimer()
 		outcome, err := c.Run()
+		b.StopTimer()
+		runtime.ReadMemStats(&ms)
+		runAllocs += ms.Mallocs - startAllocs
+		runEvents += c.EventsDispatched()
+		b.StartTimer()
 		if err != nil || outcome != Completed {
 			b.Fatalf("Run = %v, %v", outcome, err)
 		}
@@ -127,8 +149,18 @@ func benchScheduler(b *testing.B, ranks int) {
 			b.ReportMetric(float64(c.EventsDispatched()), "events")
 		}
 	}
+	b.StopTimer()
+	if perEvent := float64(runAllocs) / float64(runEvents); maxAllocsPerEvent > 0 && perEvent > maxAllocsPerEvent {
+		b.Errorf("steady-state allocations = %.2f/event (%d allocs over %d events), want <= %.2f/event",
+			perEvent, runAllocs, runEvents, maxAllocsPerEvent)
+	}
 }
 
-func BenchmarkScheduler64Ranks(b *testing.B)   { benchScheduler(b, 64) }
-func BenchmarkScheduler512Ranks(b *testing.B)  { benchScheduler(b, 512) }
-func BenchmarkScheduler4096Ranks(b *testing.B) { benchScheduler(b, 4096) }
+func BenchmarkScheduler64Ranks(b *testing.B) { benchScheduler(b, 64, 0) }
+
+// BenchmarkScheduler512Ranks carries the allocs/op assertion: roughly
+// half the events are sends (one netsim.Message allocation each), so a
+// healthy steady state sits near 0.5 allocations per event; 1.0 leaves
+// room for map growth while still catching any new per-event allocation.
+func BenchmarkScheduler512Ranks(b *testing.B)  { benchScheduler(b, 512, 1.0) }
+func BenchmarkScheduler4096Ranks(b *testing.B) { benchScheduler(b, 4096, 0) }

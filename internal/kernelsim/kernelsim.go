@@ -10,12 +10,14 @@
 //     (arch_prctl), costing on the order of a microsecond round trip; with
 //     the FSGSBASE patch the unprivileged WRFSBASE instruction costs only a
 //     few nanoseconds.
-//  2. Handle virtualisation: a hash-table lookup plus locking for every MPI
+//  2. Handle virtualisation: a table lookup plus locking for every MPI
 //     call that passes a communicator, datatype or request handle. The
-//     virtual-to-real translation table itself is not modelled yet (a
-//     dedicated virtid package is a roadmap item); until it lands, the
-//     per-lookup cost constant lives here so all kernel/CPU cost constants
-//     are in one place.
+//     virtual-to-real translation table itself lives in internal/virtid
+//     (two implementations: the MutexTable baseline and the sharded
+//     lock-free-read optimisation), along with the calibrated per-lookup
+//     cost constants; the Kernel is constructed with the cost of the
+//     selected implementation and charges it per translated handle in
+//     MANAPerCallOverhead.
 //
 // The package also models sbrk() semantics for the simulated address space:
 // after restart the kernel would extend the *lower-half* data segment on
@@ -23,7 +25,10 @@
 // interposes on sbrk in the upper-half libc and uses mmap instead (§2.1).
 package kernelsim
 
-import "mana/internal/vtime"
+import (
+	"mana/internal/virtid"
+	"mana/internal/vtime"
+)
 
 // Personality identifies the kernel variant a node runs.
 type Personality int
@@ -61,9 +66,6 @@ const (
 	// fsSwitchFSGSBASECost is the cost of a WRFSBASE instruction on a
 	// patched kernel.
 	fsSwitchFSGSBASECost = 6 * vtime.Nanosecond
-	// virtualizationLookupCost is the hash-table lookup plus lock
-	// acquisition for translating one virtual MPI handle.
-	virtualizationLookupCost = 35 * vtime.Nanosecond
 	// recordMetadataCost is the cost of appending one entry to the
 	// record-replay log for calls with persistent effects, or of recording
 	// send/receive metadata for the draining algorithm.
@@ -91,11 +93,24 @@ const (
 // Kernel is the cost model for one node's kernel.
 type Kernel struct {
 	personality Personality
+	// lookupCost and writeCost are the per-operation virtualisation
+	// costs of the selected virtid table implementation: one lookup per
+	// translated handle, one write per Register/Deregister.
+	lookupCost vtime.Duration
+	writeCost  vtime.Duration
 }
 
-// New returns a kernel model with the given personality.
+// New returns a kernel model with the given personality, charging the
+// baseline (MutexTable) virtualisation figures.
 func New(p Personality) *Kernel {
-	return &Kernel{personality: p}
+	return NewForTable(p, virtid.ImplMutex)
+}
+
+// NewForTable returns a kernel model calibrated for the given virtid
+// table implementation — the rank runtime passes whichever one the job
+// selected.
+func NewForTable(p Personality, impl virtid.Impl) *Kernel {
+	return &Kernel{personality: p, lookupCost: impl.LookupCost(), writeCost: impl.WriteCost()}
 }
 
 // Personality reports the kernel variant.
@@ -119,9 +134,24 @@ func (k *Kernel) RoundTripSwitchCost() vtime.Duration {
 }
 
 // VirtualizationLookupCost returns the cost of translating one opaque MPI
-// handle through the virtualisation table.
+// handle through the virtualisation table the kernel was calibrated for.
 func (k *Kernel) VirtualizationLookupCost() vtime.Duration {
-	return virtualizationLookupCost
+	return k.lookupCost
+}
+
+// VirtualizationLookupOverhead returns the lookup component of a call's
+// overhead: one calibrated translation per counted lookup. It is the
+// exact term MANAPerCallOverhead charges, exposed so callers accounting
+// the lookup share (Stats.LookupTime) cannot drift from the charge.
+func (k *Kernel) VirtualizationLookupOverhead(lookups virtid.LookupCounts) vtime.Duration {
+	return vtime.Duration(lookups.Total()) * k.lookupCost
+}
+
+// HandleWriteCost returns the cost of one virtualisation-table write
+// (Register or Deregister), charged by the nonblocking post/wait paths
+// that create and retire request handles.
+func (k *Kernel) HandleWriteCost() vtime.Duration {
+	return k.writeCost
 }
 
 // RecordMetadataCost returns the cost of logging one call for record/replay
@@ -136,14 +166,14 @@ func (k *Kernel) SyscallCost() vtime.Duration {
 	return syscallBaseCost
 }
 
-// MANAPerCallOverhead returns the total per-MPI-call overhead MANA imposes:
-// the FS round trip, nHandles virtualisation lookups and, when the call has
-// persistent or in-flight effects, one metadata record.
-func (k *Kernel) MANAPerCallOverhead(nHandles int, recorded bool) vtime.Duration {
-	d := k.RoundTripSwitchCost()
-	if nHandles > 0 {
-		d += vtime.Duration(nHandles) * virtualizationLookupCost
-	}
+// MANAPerCallOverhead returns the total per-MPI-call overhead MANA
+// imposes: the FS round trip, one calibrated table translation per
+// handle lookup the call performed (communicators, datatypes, requests —
+// counted per kind by the rank runtime, which does the real virtid
+// lookups) and, when the call has persistent or in-flight effects, one
+// metadata record.
+func (k *Kernel) MANAPerCallOverhead(lookups virtid.LookupCounts, recorded bool) vtime.Duration {
+	d := k.RoundTripSwitchCost() + k.VirtualizationLookupOverhead(lookups)
 	if recorded {
 		d += recordMetadataCost
 	}

@@ -3,6 +3,7 @@ package kernelsim
 import (
 	"testing"
 
+	"mana/internal/virtid"
 	"mana/internal/vtime"
 )
 
@@ -51,15 +52,16 @@ func TestPersonalityAccessor(t *testing.T) {
 
 func TestMANAPerCallOverheadComposition(t *testing.T) {
 	k := New(Unpatched)
-	base := k.MANAPerCallOverhead(0, false)
+	base := k.MANAPerCallOverhead(virtid.LookupCounts{}, false)
 	if base != k.RoundTripSwitchCost() {
 		t.Errorf("no-handle overhead %v != round trip %v", base, k.RoundTripSwitchCost())
 	}
-	withHandles := k.MANAPerCallOverhead(3, false)
+	// One lookup of each kind: the per-kind counts sum into the charge.
+	withHandles := k.MANAPerCallOverhead(virtid.LookupCounts{Comm: 1, Datatype: 1, Request: 1}, false)
 	if withHandles != base+3*k.VirtualizationLookupCost() {
 		t.Errorf("handle overhead not additive: %v", withHandles)
 	}
-	withRecord := k.MANAPerCallOverhead(1, true)
+	withRecord := k.MANAPerCallOverhead(virtid.LookupCounts{Comm: 1}, true)
 	want := base + k.VirtualizationLookupCost() + k.RecordMetadataCost()
 	if withRecord != want {
 		t.Errorf("recorded overhead = %v, want %v", withRecord, want)
@@ -69,12 +71,32 @@ func TestMANAPerCallOverheadComposition(t *testing.T) {
 func TestOverheadMonotoneInHandles(t *testing.T) {
 	k := New(Patched)
 	prev := vtime.Duration(-1)
-	for n := 0; n < 10; n++ {
-		d := k.MANAPerCallOverhead(n, false)
+	for n := uint64(0); n < 10; n++ {
+		d := k.MANAPerCallOverhead(virtid.LookupCounts{Request: n}, false)
 		if d <= prev {
 			t.Fatalf("overhead not strictly increasing at n=%d: %v <= %v", n, d, prev)
 		}
 		prev = d
+	}
+}
+
+// TestLookupCostTracksVirtidImpl pins the wiring between the selected
+// table implementation and the per-call charge: a kernel calibrated for
+// the sharded table charges cheaper MPI calls than the mutex baseline.
+func TestLookupCostTracksVirtidImpl(t *testing.T) {
+	if New(Unpatched).VirtualizationLookupCost() != virtid.MutexLookupCost {
+		t.Error("New must default to the MutexTable baseline figure")
+	}
+	mutex := NewForTable(Unpatched, virtid.ImplMutex)
+	sharded := NewForTable(Unpatched, virtid.ImplSharded)
+	calls := virtid.LookupCounts{Comm: 1, Datatype: 1, Request: 1}
+	if m, s := mutex.MANAPerCallOverhead(calls, true), sharded.MANAPerCallOverhead(calls, true); s >= m {
+		t.Errorf("sharded per-call overhead %v should be below mutex %v", s, m)
+	}
+	want := 3 * (virtid.MutexLookupCost - virtid.ShardedLookupCost)
+	got := mutex.MANAPerCallOverhead(calls, true) - sharded.MANAPerCallOverhead(calls, true)
+	if got != want {
+		t.Errorf("per-call saving = %v, want %v (3 lookups' worth)", got, want)
 	}
 }
 

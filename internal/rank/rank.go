@@ -3,11 +3,17 @@
 //
 // A Rank owns exactly the state a real MANA-wrapped MPI process owns: a
 // virtual clock (vtime.Clock), a split-process address space
-// (memsim.AddressSpace) and a kernel cost personality (kernelsim.Kernel).
-// It executes a scripted workload — compute phases, point-to-point sends
-// and receives, barriers and allreduces, heap growth — and charges the
-// MANA per-call overhead (FS-register round trip + handle-virtualisation
-// lookups + record/replay metadata, paper §3.3) on every MPI call.
+// (memsim.AddressSpace), a kernel cost personality (kernelsim.Kernel)
+// and a handle-virtualisation table (virtid.Table). It executes a
+// scripted workload — compute phases, point-to-point sends and receives,
+// barriers and allreduces, heap growth — and charges the MANA per-call
+// overhead (FS-register round trip + handle-virtualisation lookups +
+// record/replay metadata, paper §3.3) on every MPI call. The lookups are
+// real: the rank registers its communicator and datatype at init and a
+// request per point-to-point operation, and every MPI call translates
+// its handles through the table, so a missing or doubly-registered
+// handle is a detectable bug (the rank panics), not a silently wrong
+// cost charge.
 //
 // The rank does not schedule itself: the coordinator's event-driven
 // scheduler drives it, because collectives and checkpoints need a global
@@ -27,6 +33,7 @@ import (
 	"mana/internal/kernelsim"
 	"mana/internal/memsim"
 	"mana/internal/netsim"
+	"mana/internal/virtid"
 	"mana/internal/vtime"
 )
 
@@ -37,6 +44,13 @@ const (
 	OpCompute OpKind = iota
 	OpSend
 	OpRecv
+	// OpIsend is a nonblocking send: it injects the message immediately
+	// and registers a request handle in the virtualisation table that
+	// stays live until the matching OpWait retires it.
+	OpIsend
+	// OpWait completes the oldest outstanding nonblocking operation,
+	// translating and deregistering its request handle.
+	OpWait
 	OpBarrier
 	OpAllreduce
 	OpSbrk
@@ -51,6 +65,10 @@ func (k OpKind) String() string {
 		return "send"
 	case OpRecv:
 		return "recv"
+	case OpIsend:
+		return "isend"
+	case OpWait:
+		return "wait"
 	case OpBarrier:
 		return "barrier"
 	case OpAllreduce:
@@ -120,20 +138,40 @@ type Stats struct {
 	Collectives  uint64
 	ComputeTime  vtime.Duration
 	ManaOverhead vtime.Duration // per-call MANA cost charged to the clock
+
+	// Handle-virtualisation accounting (§3.3): how many virtual-to-real
+	// translations this rank performed, per handle kind; how many table
+	// writes (request Register/Deregister on the nonblocking paths); and
+	// the modelled virtual time each cost (both subsets of ManaOverhead).
+	HandleLookups   uint64
+	CommLookups     uint64
+	DatatypeLookups uint64
+	RequestLookups  uint64
+	HandleWrites    uint64
+	LookupTime      vtime.Duration
+	WriteTime       vtime.Duration
 }
 
 // Image is one rank's checkpoint image: everything needed to resume the
 // rank bit-identically. Mem carries exactly the upper-half regions
 // (memsim.Snapshot); Inbox carries the in-flight messages the drain phase
 // buffered at the receiver (§3.1 — drained messages are saved in the
-// image and replayed to the application after restart).
+// image and replayed to the application after restart); Virt carries the
+// handle-virtualisation table state (sorted, deterministic), from which
+// restart rebuilds the table so that live virtual handles keep resolving
+// while handles minted in the abandoned timeline do not.
 type Image struct {
 	RankID int
 	PC     int
 	Clock  vtime.Time
 	Mem    memsim.Snapshot
 	Inbox  []netsim.Message
-	Stats  Stats
+	Virt   virtid.Snapshot
+	// PendingReqs is the FIFO of request handles posted by nonblocking
+	// operations and not yet retired by a wait — live handles that must
+	// keep resolving after restart.
+	PendingReqs []virtid.VID
+	Stats       Stats
 }
 
 // Bytes returns the memory payload size of the image, including buffered
@@ -155,6 +193,21 @@ type Rank struct {
 	script []Op
 	pc     int
 	state  State
+
+	// vt is the handle-virtualisation table (paper §3.3); vimpl records
+	// which implementation the job selected so restart can rebuild the
+	// same one. comm and dtype are the virtual handles registered at init
+	// that every MPI call translates.
+	vt    virtid.Table
+	vimpl virtid.Impl
+	comm  virtid.VID
+	dtype virtid.VID
+	// reqSeq numbers posted requests; it mirrors the table's request
+	// allocation counter and is restored from the image's virtid snapshot
+	// so replayed posts mint identical real handles. pending is the FIFO
+	// of not-yet-waited request handles (part of the checkpoint image).
+	reqSeq  uint64
+	pending []virtid.VID
 
 	// inbox holds messages that the checkpoint drain phase buffered at
 	// this rank before the application posted the matching receive.
@@ -183,18 +236,38 @@ type Rank struct {
 
 const stateRegionSize = 64 * 1024
 
-// New returns a rank with an initialised split-process address space and
-// the given workload script. The upper half models the application, its
-// libc and its link-time MPI library; the lower half models the bootstrap
-// program and the active network stack.
-func New(id int, personality kernelsim.Personality, script []Op) *Rank {
+// Real handle values the live lower half hands out, shaped like MPICH's
+// predefined-handle encodings. In a real MANA run these change on every
+// restart (the rebuilt lower half mints fresh ones, which is the whole
+// reason the table exists); the simulator keeps them stable so images
+// stay deterministic, and models only the translation work.
+const (
+	realCommWorld    virtid.Real = 0x44000000
+	realDatatypeByte virtid.Real = 0x4c00010d
+	// realRequestBase offsets a request's virtual id into its simulated
+	// real handle, keeping replayed registrations bit-identical.
+	realRequestBase virtid.Real = 0x98000000
+)
+
+// New returns a rank with an initialised split-process address space,
+// the selected handle-virtualisation table and the given workload
+// script. The upper half models the application, its libc and its
+// link-time MPI library; the lower half models the bootstrap program and
+// the active network stack. The world communicator and the workload's
+// datatype are registered in the virtualisation table exactly as MANA
+// wraps MPI_Init: the application only ever sees their virtual ids.
+func New(id int, personality kernelsim.Personality, impl virtid.Impl, script []Op) *Rank {
 	r := &Rank{
 		id:     id,
 		clock:  vtime.NewClock(0),
 		mem:    memsim.NewAddressSpace(),
-		kernel: kernelsim.New(personality),
+		kernel: kernelsim.NewForTable(personality, impl),
 		script: script,
+		vt:     virtid.New(impl),
+		vimpl:  impl,
 	}
+	r.comm = r.vt.Register(virtid.Comm, realCommWorld)
+	r.dtype = r.vt.Register(virtid.Datatype, realDatatypeByte)
 	r.initUpperHalf()
 	r.InitLowerHalf()
 	return r
@@ -234,6 +307,13 @@ func (r *Rank) Mem() *memsim.AddressSpace { return r.mem }
 
 // Kernel returns the rank's kernel cost model.
 func (r *Rank) Kernel() *kernelsim.Kernel { return r.kernel }
+
+// Virtid returns the rank's handle-virtualisation table. Tests use it to
+// inspect table state and to stage dead-timeline handles.
+func (r *Rank) Virtid() virtid.Table { return r.vt }
+
+// VirtidImpl returns the table implementation the rank was built with.
+func (r *Rank) VirtidImpl() virtid.Impl { return r.vimpl }
 
 // State returns the scheduler-visible execution state.
 func (r *Rank) State() State {
@@ -278,15 +358,70 @@ func (r *Rank) Op() Op {
 // application.
 func (r *Rank) InboxLen() int { return len(r.inbox) }
 
+// PendingRequests returns the virtual ids of nonblocking operations
+// posted but not yet retired by a wait, oldest first.
+func (r *Rank) PendingRequests() []virtid.VID {
+	return append([]virtid.VID(nil), r.pending...)
+}
+
+// translate resolves one virtual handle through the table, exactly as
+// the MANA wrapper does on the way into the lower half. A miss means the
+// upper half holds a handle the table does not know — a virtualisation
+// bug (or a stale handle from an abandoned timeline) — and is fatal.
+func (r *Rank) translate(k virtid.Kind, v virtid.VID) virtid.Real {
+	real, ok := r.vt.Lookup(k, v)
+	if !ok {
+		panic(fmt.Sprintf("rank %d: virtual %v handle %d does not resolve", r.id, k, v))
+	}
+	return real
+}
+
+// postRequest registers the request handle a nonblocking operation
+// allocates at post time. The simulated real handle is a deterministic
+// function of the request sequence number so that restart replay
+// re-creates bit-identical mappings.
+func (r *Rank) postRequest() virtid.VID {
+	r.reqSeq++
+	v := r.vt.Register(virtid.Request, realRequestBase+virtid.Real(r.reqSeq))
+	if v != virtid.VID(r.reqSeq) {
+		// reqSeq mirrors the table's request allocation counter; any path
+		// registering requests outside postRequest would silently break the
+		// deterministic real-handle mapping replay depends on.
+		panic(fmt.Sprintf("rank %d: request seq %d desynchronised from table vid %d", r.id, r.reqSeq, v))
+	}
+	return v
+}
+
+// completeRequest models the wait half: the request handle is translated
+// once more (the wait call passes it down) and then retired from the
+// table — after this, the virtual id never resolves again.
+func (r *Rank) completeRequest(v virtid.VID) {
+	r.translate(virtid.Request, v)
+	if !r.vt.Deregister(virtid.Request, v) {
+		panic(fmt.Sprintf("rank %d: request handle %d retired twice", r.id, v))
+	}
+}
+
 // chargeMPICall advances the clock by MANA's per-call overhead and
-// records it: the FS-register round trip, nHandles virtualisation
-// lookups, and one metadata record when the call has drain-relevant
-// effects (§3.3).
-func (r *Rank) chargeMPICall(nHandles int, recorded bool) {
-	d := r.kernel.MANAPerCallOverhead(nHandles, recorded)
+// records it: the FS-register round trip, the per-kind virtualisation
+// lookups the call performed, any table writes (request registration and
+// retirement on the nonblocking paths, priced by the selected
+// implementation's write cost), and one metadata record when the call
+// has drain-relevant effects (§3.3).
+func (r *Rank) chargeMPICall(lookups virtid.LookupCounts, writes uint64, recorded bool) {
+	d := r.kernel.MANAPerCallOverhead(lookups, recorded)
+	writeTime := vtime.Duration(writes) * r.kernel.HandleWriteCost()
+	d += writeTime
 	r.clock.Advance(d)
 	r.stats.MPICalls++
 	r.stats.ManaOverhead += d
+	r.stats.CommLookups += lookups.Comm
+	r.stats.DatatypeLookups += lookups.Datatype
+	r.stats.RequestLookups += lookups.Request
+	r.stats.HandleLookups += lookups.Total()
+	r.stats.HandleWrites += writes
+	r.stats.LookupTime += r.kernel.VirtualizationLookupOverhead(lookups)
+	r.stats.WriteTime += writeTime
 }
 
 // writeStateMarker stores the current pc into the workload state region
@@ -309,12 +444,16 @@ func (r *Rank) DoCompute(op Op) {
 	r.pc++
 }
 
-// DoSend executes a send op: charge the MANA call overhead (communicator
-// + request handle lookups, metadata record for the drain counters),
-// inject the message with a piggybacked timestamp, and occupy the sender
-// for the serialisation time.
+// DoSend executes a blocking send op: translate the communicator and
+// datatype handles (a blocking send surfaces no request to the
+// application, so none is virtualised), charge the MANA call overhead
+// (one lookup per translated handle, metadata record for the drain
+// counters), inject the message with a piggybacked timestamp, and occupy
+// the sender for the serialisation time.
 func (r *Rank) DoSend(net *netsim.Network, op Op) *netsim.Message {
-	r.chargeMPICall(2, true)
+	r.translate(virtid.Comm, r.comm)
+	r.translate(virtid.Datatype, r.dtype)
+	r.chargeMPICall(virtid.LookupCounts{Comm: 1, Datatype: 1}, 0, true)
 	stamp := vtime.StampFrom(r.id, r.clock)
 	m, busy := net.Send(r.id, op.Peer, op.Tag, op.Bytes, stamp)
 	r.clock.Advance(busy)
@@ -322,6 +461,42 @@ func (r *Rank) DoSend(net *netsim.Network, op Op) *netsim.Message {
 	r.stats.BytesSent += op.Bytes
 	r.pc++
 	return m
+}
+
+// DoIsend executes a nonblocking send: like DoSend, but the call also
+// registers a request handle that stays live — in the table and in the
+// pending FIFO, both part of the checkpoint image — until the matching
+// wait retires it. The message itself is on the wire immediately; only
+// its completion handle is outstanding.
+func (r *Rank) DoIsend(net *netsim.Network, op Op) *netsim.Message {
+	r.translate(virtid.Comm, r.comm)
+	r.translate(virtid.Datatype, r.dtype)
+	req := r.postRequest()
+	r.pending = append(r.pending, req)
+	// The post is a table write (the request is born here), not a lookup;
+	// its first translation happens at the wait.
+	r.chargeMPICall(virtid.LookupCounts{Comm: 1, Datatype: 1}, 1, true)
+	stamp := vtime.StampFrom(r.id, r.clock)
+	m, busy := net.Send(r.id, op.Peer, op.Tag, op.Bytes, stamp)
+	r.clock.Advance(busy)
+	r.stats.MsgsSent++
+	r.stats.BytesSent += op.Bytes
+	r.pc++
+	return m
+}
+
+// DoWait completes the oldest outstanding nonblocking operation: the
+// wait call passes the request handle down (one translation) and retires
+// it from the table — after this the virtual id never resolves again.
+func (r *Rank) DoWait() {
+	if len(r.pending) == 0 {
+		panic(fmt.Sprintf("rank %d: wait with no outstanding request", r.id))
+	}
+	req := r.pending[0]
+	r.pending = r.pending[1:]
+	r.completeRequest(req)
+	r.chargeMPICall(virtid.LookupCounts{Request: 1}, 1, false)
+	r.pc++
 }
 
 // TryRecv attempts to execute a recv op. Drain-buffered inbox messages
@@ -346,7 +521,9 @@ func (r *Rank) TryRecv(net *netsim.Network, op Op) bool {
 }
 
 func (r *Rank) completeRecv(m netsim.Message) {
-	r.chargeMPICall(2, true)
+	r.translate(virtid.Comm, r.comm)
+	r.translate(virtid.Datatype, r.dtype)
+	r.chargeMPICall(virtid.LookupCounts{Comm: 1, Datatype: 1}, 0, true)
 	// Piggyback synchronisation: the receiver cannot observe the message
 	// before it arrives.
 	r.clock.Observe(vtime.Stamp{Rank: m.Src, When: m.Arrive})
@@ -407,6 +584,12 @@ func (r *Rank) Execute(net *netsim.Network) Transition {
 	case OpSend:
 		m := r.DoSend(net, op)
 		return Transition{Kind: Advanced, Op: op, Msg: m}
+	case OpIsend:
+		m := r.DoIsend(net, op)
+		return Transition{Kind: Advanced, Op: op, Msg: m}
+	case OpWait:
+		r.DoWait()
+		return Transition{Kind: Advanced, Op: op}
 	case OpRecv:
 		if r.TryRecv(net, op) {
 			return Transition{Kind: Advanced, Op: op}
@@ -451,14 +634,22 @@ func (r *Rank) Wake(net *netsim.Network) bool {
 	return false
 }
 
-// ArriveAtCollective executes the rank-local half of a collective: charge
+// ArriveAtCollective executes the rank-local half of a collective:
+// translate the handles the call passes (every collective names the
+// communicator; a payload-carrying one also names the datatype), charge
 // the call overhead, mark the rank as waiting, and return the piggyback
 // stamp the coordinator gathers to compute the completion time.
 func (r *Rank) ArriveAtCollective() vtime.Stamp {
 	if r.State() != Running {
 		panic(fmt.Sprintf("rank %d: ArriveAtCollective in state %v", r.id, r.state))
 	}
-	r.chargeMPICall(1, true)
+	lookups := virtid.LookupCounts{Comm: 1}
+	r.translate(virtid.Comm, r.comm)
+	if r.Op().Kind == OpAllreduce {
+		r.translate(virtid.Datatype, r.dtype)
+		lookups.Datatype = 1
+	}
+	r.chargeMPICall(lookups, 0, true)
 	r.state = InCollective
 	return vtime.StampFrom(r.id, r.clock)
 }
@@ -501,13 +692,17 @@ func (r *Rank) CaptureImage() Image {
 	}
 	inbox := make([]netsim.Message, len(r.inbox))
 	copy(inbox, r.inbox)
+	pending := make([]virtid.VID, len(r.pending))
+	copy(pending, r.pending)
 	return Image{
-		RankID: r.id,
-		PC:     r.pc,
-		Clock:  r.clock.Now(),
-		Mem:    r.mem.SnapshotUpperHalf(),
-		Inbox:  inbox,
-		Stats:  r.stats,
+		RankID:      r.id,
+		PC:          r.pc,
+		Clock:       r.clock.Now(),
+		Mem:         r.mem.SnapshotUpperHalf(),
+		Inbox:       inbox,
+		Virt:        r.vt.Snapshot(),
+		PendingReqs: pending,
+		Stats:       r.stats,
 	}
 }
 
@@ -528,6 +723,16 @@ func (r *Rank) Restore(img Image) {
 	r.mem = memsim.NewAddressSpace()
 	r.InitLowerHalf()
 	r.mem.RestoreUpperHalf(img.Mem)
+	// The virtualisation table is rebuilt from the image, exactly as MANA
+	// repopulates it after the fresh lower half comes up: virtual ids live
+	// at checkpoint time resolve again, ids minted in the abandoned
+	// timeline do not, and the restored allocation counters make replayed
+	// registrations bit-identical.
+	r.vt = virtid.New(r.vimpl)
+	r.vt.Restore(img.Virt)
+	r.reqSeq = img.Virt.Next[virtid.Request]
+	r.pending = make([]virtid.VID, len(img.PendingReqs))
+	copy(r.pending, img.PendingReqs)
 	r.clock.Set(img.Clock)
 	r.pc = img.PC
 	r.state = Running

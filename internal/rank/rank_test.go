@@ -6,6 +6,7 @@ import (
 	"mana/internal/kernelsim"
 	"mana/internal/memsim"
 	"mana/internal/netsim"
+	"mana/internal/virtid"
 	"mana/internal/vtime"
 )
 
@@ -15,26 +16,36 @@ func testNet() *netsim.Network {
 
 func TestMPICallChargesManaOverhead(t *testing.T) {
 	script := []Op{{Kind: OpSend, Peer: 1, Bytes: 0, Tag: 0}}
-	r := New(0, kernelsim.Unpatched, script)
-	k := kernelsim.New(kernelsim.Unpatched)
+	r := New(0, kernelsim.Unpatched, virtid.ImplSharded, script)
+	k := kernelsim.NewForTable(kernelsim.Unpatched, virtid.ImplSharded)
 	r.DoSend(testNet(), script[0])
 	st := r.Stats()
 	if st.MPICalls != 1 {
 		t.Fatalf("MPICalls = %d, want 1", st.MPICalls)
 	}
-	want := k.MANAPerCallOverhead(2, true)
+	// A blocking send translates the communicator and the datatype (no
+	// request is surfaced): two lookups plus the drain-counter metadata
+	// record.
+	want := k.MANAPerCallOverhead(virtid.LookupCounts{Comm: 1, Datatype: 1}, true)
 	if st.ManaOverhead != want {
 		t.Errorf("ManaOverhead = %v, want %v (FS round trip + 2 lookups + record)", st.ManaOverhead, want)
 	}
 	if got := r.Clock().Now(); got != vtime.Time(want) {
 		t.Errorf("clock = %v, want %v (zero-byte send costs only MANA overhead)", got, want)
 	}
+	if st.HandleLookups != 2 || st.CommLookups != 1 || st.DatatypeLookups != 1 || st.RequestLookups != 0 {
+		t.Errorf("lookup stats = %d (comm=%d dtype=%d req=%d), want 2 (1/1/0)",
+			st.HandleLookups, st.CommLookups, st.DatatypeLookups, st.RequestLookups)
+	}
+	if st.LookupTime != 2*virtid.ShardedLookupCost {
+		t.Errorf("LookupTime = %v, want %v", st.LookupTime, 2*virtid.ShardedLookupCost)
+	}
 }
 
 func TestPatchedKernelCheaperPerCall(t *testing.T) {
 	script := []Op{{Kind: OpSend, Peer: 1, Bytes: 0}}
-	unp := New(0, kernelsim.Unpatched, script)
-	pat := New(0, kernelsim.Patched, script)
+	unp := New(0, kernelsim.Unpatched, virtid.ImplSharded, script)
+	pat := New(0, kernelsim.Patched, virtid.ImplSharded, script)
 	unp.DoSend(testNet(), script[0])
 	pat.DoSend(testNet(), script[0])
 	if pat.Stats().ManaOverhead >= unp.Stats().ManaOverhead {
@@ -45,8 +56,8 @@ func TestPatchedKernelCheaperPerCall(t *testing.T) {
 
 func TestRecvObservesPiggybackedArrival(t *testing.T) {
 	net := testNet()
-	sender := New(0, kernelsim.Patched, []Op{{Kind: OpCompute, Dur: 10 * vtime.Millisecond}, {Kind: OpSend, Peer: 1, Bytes: 1000}})
-	receiver := New(1, kernelsim.Patched, []Op{{Kind: OpRecv, Peer: 0}})
+	sender := New(0, kernelsim.Patched, virtid.ImplSharded, []Op{{Kind: OpCompute, Dur: 10 * vtime.Millisecond}, {Kind: OpSend, Peer: 1, Bytes: 1000}})
+	receiver := New(1, kernelsim.Patched, virtid.ImplSharded, []Op{{Kind: OpRecv, Peer: 0}})
 
 	// Receiver posts first: nothing in flight yet.
 	if receiver.TryRecv(net, receiver.Op()) {
@@ -67,7 +78,7 @@ func TestRecvObservesPiggybackedArrival(t *testing.T) {
 }
 
 func TestCollectiveArriveFinish(t *testing.T) {
-	r := New(0, kernelsim.Patched, []Op{{Kind: OpBarrier}})
+	r := New(0, kernelsim.Patched, virtid.ImplSharded, []Op{{Kind: OpBarrier}})
 	stamp := r.ArriveAtCollective()
 	if r.State() != InCollective {
 		t.Fatalf("state after arrive = %v, want in-collective", r.State())
@@ -95,7 +106,7 @@ func TestImageRoundTripRestoresExactState(t *testing.T) {
 		{Kind: OpSbrk, Bytes: 128 << 10},
 		{Kind: OpCompute, Dur: 2 * vtime.Millisecond},
 	}
-	r := New(0, kernelsim.Unpatched, script)
+	r := New(0, kernelsim.Unpatched, virtid.ImplSharded, script)
 	r.DoCompute(script[0])
 	r.DoSbrk(script[1])
 	img := r.CaptureImage()
@@ -129,8 +140,8 @@ func TestImageRoundTripRestoresExactState(t *testing.T) {
 
 func TestDrainedInboxSurvivesCheckpointAndFeedsRecv(t *testing.T) {
 	net := testNet()
-	sender := New(0, kernelsim.Patched, []Op{{Kind: OpSend, Peer: 1, Bytes: 500, Tag: 9}})
-	receiver := New(1, kernelsim.Patched, []Op{{Kind: OpRecv, Peer: 0, Tag: 9}})
+	sender := New(0, kernelsim.Patched, virtid.ImplSharded, []Op{{Kind: OpSend, Peer: 1, Bytes: 500, Tag: 9}})
+	receiver := New(1, kernelsim.Patched, virtid.ImplSharded, []Op{{Kind: OpRecv, Peer: 0, Tag: 9}})
 	sender.DoSend(net, sender.Op())
 
 	// Checkpoint-time drain: the in-flight message is buffered at the
@@ -169,7 +180,7 @@ func TestStatsRestoredFromImage(t *testing.T) {
 		{Kind: OpSend, Peer: 1, Bytes: 100},
 		{Kind: OpSend, Peer: 1, Bytes: 100},
 	}
-	r := New(0, kernelsim.Unpatched, script)
+	r := New(0, kernelsim.Unpatched, virtid.ImplSharded, script)
 	r.DoSend(net, script[0])
 	img := r.CaptureImage()
 	r.DoSend(net, script[1])
@@ -184,7 +195,7 @@ func TestStatsRestoredFromImage(t *testing.T) {
 
 func TestExecuteTransitions(t *testing.T) {
 	net := testNet()
-	r := New(0, kernelsim.Patched, []Op{
+	r := New(0, kernelsim.Patched, virtid.ImplSharded, []Op{
 		{Kind: OpCompute, Dur: 1 * vtime.Millisecond},
 		{Kind: OpRecv, Peer: 1},
 		{Kind: OpBarrier},
@@ -226,7 +237,7 @@ func TestExecuteTransitions(t *testing.T) {
 	}
 
 	// A wake after the matching send completes the receive.
-	sender := New(1, kernelsim.Patched, []Op{{Kind: OpSend, Peer: 0, Bytes: 100}})
+	sender := New(1, kernelsim.Patched, virtid.ImplSharded, []Op{{Kind: OpSend, Peer: 0, Bytes: 100}})
 	sender.Execute(net)
 	if !r.Wake(net) {
 		t.Fatal("Wake failed with a matching message in flight")
@@ -257,13 +268,13 @@ func TestExecuteTransitions(t *testing.T) {
 
 func TestWakeConsumesInboxBeforeNetwork(t *testing.T) {
 	net := testNet()
-	r := New(1, kernelsim.Patched, []Op{{Kind: OpRecv, Peer: 0}})
+	r := New(1, kernelsim.Patched, virtid.ImplSharded, []Op{{Kind: OpRecv, Peer: 0}})
 	if tr := r.Execute(net); tr.Kind != BlockedOnRecv {
 		t.Fatalf("transition = %+v, want BlockedOnRecv", tr)
 	}
 	// A checkpoint drain buffers the message into the inbox while the
 	// rank is blocked; the wake must find it there.
-	sender := New(0, kernelsim.Patched, []Op{{Kind: OpSend, Peer: 1, Bytes: 64}})
+	sender := New(0, kernelsim.Patched, virtid.ImplSharded, []Op{{Kind: OpSend, Peer: 1, Bytes: 64}})
 	sender.Execute(net)
 	for _, m := range net.DrainTo(1) {
 		r.BufferDrained(m)
@@ -315,6 +326,160 @@ func TestGenerateScriptSPMDCollectives(t *testing.T) {
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("op %d differs across identical calls: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestIsendWaitRequestLifecycle pins the nonblocking request handle
+// lifecycle: Isend registers a live request in the virtualisation table,
+// the matching Wait translates it once more and retires it for good.
+func TestIsendWaitRequestLifecycle(t *testing.T) {
+	net := testNet()
+	r := New(0, kernelsim.Patched, virtid.ImplSharded, []Op{
+		{Kind: OpIsend, Peer: 1, Bytes: 100, Tag: 1},
+		{Kind: OpWait},
+	})
+	r.DoIsend(net, r.Op())
+	pending := r.PendingRequests()
+	if len(pending) != 1 {
+		t.Fatalf("pending requests = %d, want 1", len(pending))
+	}
+	req := pending[0]
+	if _, ok := r.Virtid().Lookup(virtid.Request, req); !ok {
+		t.Fatal("posted request does not resolve in the table")
+	}
+	// The post is a write (the request is born, not translated): one
+	// handle write, no request lookup yet.
+	if st := r.Stats(); st.RequestLookups != 0 || st.HandleWrites != 1 {
+		t.Errorf("after isend: RequestLookups=%d HandleWrites=%d, want 0/1", st.RequestLookups, st.HandleWrites)
+	}
+	r.DoWait()
+	if len(r.PendingRequests()) != 0 {
+		t.Error("pending requests not drained by wait")
+	}
+	if _, ok := r.Virtid().Lookup(virtid.Request, req); ok {
+		t.Error("retired request still resolves")
+	}
+	// The wait translates the request once and retires it: one request
+	// lookup, one more write.
+	if st := r.Stats(); st.RequestLookups != 1 || st.HandleWrites != 2 {
+		t.Errorf("after wait: RequestLookups=%d HandleWrites=%d, want 1/2", st.RequestLookups, st.HandleWrites)
+	}
+	if st := r.Stats(); st.WriteTime != 2*virtid.ShardedWriteCost {
+		t.Errorf("WriteTime = %v, want %v", st.WriteTime, 2*virtid.ShardedWriteCost)
+	}
+	if r.State() != Done {
+		t.Errorf("state = %v, want done", r.State())
+	}
+}
+
+// TestWaitWithoutRequestPanics pins the detectability property for the
+// wait side: waiting with nothing outstanding is a virtualisation bug,
+// not a silent no-op.
+func TestWaitWithoutRequestPanics(t *testing.T) {
+	r := New(0, kernelsim.Patched, virtid.ImplSharded, []Op{{Kind: OpWait}})
+	defer func() {
+		if recover() == nil {
+			t.Error("DoWait with no outstanding request did not panic")
+		}
+	}()
+	r.DoWait()
+}
+
+// TestSendPanicsOnMissingHandle pins the other detectability property:
+// the send path performs a real communicator lookup, so a handle missing
+// from the table (here: maliciously deregistered) is a loud failure, not
+// a silently wrong cost charge.
+func TestSendPanicsOnMissingHandle(t *testing.T) {
+	r := New(0, kernelsim.Patched, virtid.ImplSharded, []Op{{Kind: OpSend, Peer: 1, Bytes: 64}})
+	snap := r.Virtid().Snapshot()
+	if len(snap.Entries[virtid.Comm]) != 1 {
+		t.Fatalf("expected exactly one registered communicator, got %d", len(snap.Entries[virtid.Comm]))
+	}
+	r.Virtid().Deregister(virtid.Comm, snap.Entries[virtid.Comm][0].VID)
+	defer func() {
+		if recover() == nil {
+			t.Error("DoSend with a missing communicator handle did not panic")
+		}
+	}()
+	r.DoSend(testNet(), r.Op())
+}
+
+// TestVirtidRebuiltFromImageAndStaleHandlesDie is the §3.2 restart
+// property at the rank level: a checkpoint taken while a nonblocking
+// request is outstanding carries that live handle (it must resolve after
+// restore, and the pending wait must complete against it), while handles
+// minted in the abandoned timeline must not resolve — and replay must
+// re-mint exactly the ids the dead timeline used.
+func TestVirtidRebuiltFromImageAndStaleHandlesDie(t *testing.T) {
+	for _, impl := range []virtid.Impl{virtid.ImplMutex, virtid.ImplSharded} {
+		t.Run(impl.String(), func(t *testing.T) {
+			net := testNet()
+			script := []Op{
+				{Kind: OpIsend, Peer: 1, Bytes: 64, Tag: 0},
+				{Kind: OpWait},
+				{Kind: OpIsend, Peer: 1, Bytes: 64, Tag: 1},
+				{Kind: OpWait},
+			}
+			r := New(0, kernelsim.Patched, impl, script)
+			r.Execute(net) // first isend: request live across the checkpoint
+			img := r.CaptureImage()
+			live := img.PendingReqs
+			if len(live) != 1 {
+				t.Fatalf("image pending requests = %d, want 1", len(live))
+			}
+			if len(img.Virt.Entries[virtid.Request]) != 1 {
+				t.Fatalf("image request table entries = %d, want 1", len(img.Virt.Entries[virtid.Request]))
+			}
+
+			// The timeline runs on past the checkpoint: the wait retires the
+			// live request and a second isend mints a new one.
+			r.Execute(net) // wait
+			r.Execute(net) // second isend
+			stale := r.PendingRequests()[0]
+			if stale == live[0] {
+				t.Fatalf("second isend reused VID %d", stale)
+			}
+
+			r.Restore(img)
+			if _, ok := r.Virtid().Lookup(virtid.Request, live[0]); !ok {
+				t.Error("request live at checkpoint time does not resolve after restore")
+			}
+			if _, ok := r.Virtid().Lookup(virtid.Request, stale); ok {
+				t.Error("stale request from the dead timeline resolves after restore")
+			}
+			got := r.PendingRequests()
+			if len(got) != 1 || got[0] != live[0] {
+				t.Fatalf("restored pending requests = %v, want %v", got, live)
+			}
+
+			// Replay: the wait completes against the restored handle, and the
+			// re-executed second isend mints exactly the dead timeline's id.
+			r.Execute(net) // wait (replayed)
+			r.Execute(net) // second isend (replayed)
+			if remint := r.PendingRequests()[0]; remint != stale {
+				t.Errorf("replayed isend minted VID %d, want %d (deterministic reallocation)", remint, stale)
+			}
+			r.Execute(net) // final wait
+			if r.State() != Done {
+				t.Errorf("state = %v, want done after replay", r.State())
+			}
+		})
+	}
+}
+
+// TestImageVirtSnapshotMatchesTable verifies CaptureImage embeds the
+// table state exactly as Snapshot reports it, for both implementations.
+func TestImageVirtSnapshotMatchesTable(t *testing.T) {
+	for _, impl := range []virtid.Impl{virtid.ImplMutex, virtid.ImplSharded} {
+		r := New(0, kernelsim.Patched, impl, nil)
+		img := r.CaptureImage()
+		want := r.Virtid().Snapshot()
+		if img.Virt.Next != want.Next {
+			t.Errorf("%v: image Next = %v, want %v", impl, img.Virt.Next, want.Next)
+		}
+		if img.Virt.Live() != want.Live() || img.Virt.Live() != 2 {
+			t.Errorf("%v: image live entries = %d, want 2 (comm + datatype)", impl, img.Virt.Live())
 		}
 	}
 }

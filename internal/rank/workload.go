@@ -39,9 +39,11 @@ func DefaultWorkload(ranks, steps int, seed uint64) WorkloadConfig {
 // in-flight traffic to buffer.
 //
 // Each step is: compute, send to the right ring neighbour, receive from
-// the left ring neighbour; every third step ends in an allreduce, every
-// fifth in a barrier, and every seventh grows the heap (so checkpoint
-// image sizes evolve between checkpoints).
+// the left ring neighbour; every fourth step overlaps the exchange with
+// a nonblocking send (isend + recv + wait, so a request handle is live
+// across the receive and checkpoints can land on it); every third step
+// ends in an allreduce, every fifth in a barrier, and every seventh
+// grows the heap (so checkpoint image sizes evolve between checkpoints).
 func GenerateScript(id int, cfg WorkloadConfig) []Op {
 	rng := vtime.NewRNG(cfg.Seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15)
 	right := (id + 1) % cfg.Ranks
@@ -51,10 +53,18 @@ func GenerateScript(id int, cfg WorkloadConfig) []Op {
 		dur := vtime.Duration(float64(cfg.ComputeMean) * rng.Jitter(0.3))
 		script = append(script, Op{Kind: OpCompute, Dur: dur})
 		if cfg.Ranks > 1 {
-			script = append(script,
-				Op{Kind: OpSend, Peer: right, Bytes: cfg.MsgBytes, Tag: step},
-				Op{Kind: OpRecv, Peer: left, Tag: step},
-			)
+			if step%4 == 3 {
+				script = append(script,
+					Op{Kind: OpIsend, Peer: right, Bytes: cfg.MsgBytes, Tag: step},
+					Op{Kind: OpRecv, Peer: left, Tag: step},
+					Op{Kind: OpWait},
+				)
+			} else {
+				script = append(script,
+					Op{Kind: OpSend, Peer: right, Bytes: cfg.MsgBytes, Tag: step},
+					Op{Kind: OpRecv, Peer: left, Tag: step},
+				)
+			}
 		}
 		if step%3 == 2 {
 			script = append(script, Op{Kind: OpAllreduce, Bytes: cfg.ReduceBytes})
