@@ -5,8 +5,18 @@ GO ?= go
 # BENCHTIME feeds -benchtime for the bench-json artifact; CI overrides it
 # to 1x so the benchmarks smoke-run on every push without burning minutes.
 BENCHTIME ?= 1s
+# BENCH_PATTERN/BENCH_PKGS select the benchmarks the BENCH_sched.json
+# artifact records: scheduler scaling, virtid contention and checkpoint
+# capture (full vs incremental image bytes).
+BENCH_PATTERN ?= BenchmarkScheduler|BenchmarkVirtid|BenchmarkCheckpointCapture|BenchmarkSnapshotUpperHalf
+BENCH_PKGS ?= ./internal/coordinator ./internal/virtid ./internal/rank ./internal/memsim
+# MAX_REGRESS is bench-check's tolerated ns/op regression vs the
+# committed artifact (0.30 = 30%); CI loosens it because -benchtime=1x
+# timings are noise — only staleness and order-of-magnitude regressions
+# gate there.
+MAX_REGRESS ?= 0.30
 
-.PHONY: all build test race lint fmt bench bench-sched bench-virtid bench-json run smoke
+.PHONY: all build test race lint fmt bench bench-sched bench-virtid bench-json bench-check run smoke
 
 all: build lint test
 
@@ -43,16 +53,25 @@ bench-virtid:
 	$(GO) test -bench='BenchmarkVirtid' -benchmem -run=^$$ ./internal/virtid
 
 # bench-json regenerates BENCH_sched.json, the machine-readable record of
-# the scheduler and virtid benchmarks (name, ns/op, allocs/op, events)
-# that tracks the perf trajectory across PRs. The bench output goes
-# through a temp file, not a pipe, so a benchmark failure fails the
-# target instead of writing a silently truncated artifact.
+# the scheduler, virtid and checkpoint-capture benchmarks (name, ns/op,
+# allocs/op, events, image-bytes) that tracks the perf trajectory across
+# PRs. The bench output goes through a temp file, not a pipe, so a
+# benchmark failure fails the target instead of writing a silently
+# truncated artifact.
 bench-json:
-	$(GO) test -bench='BenchmarkScheduler|BenchmarkVirtid' -benchmem \
-		-benchtime=$(BENCHTIME) -run=^$$ \
-		./internal/coordinator ./internal/virtid > BENCH_sched.tmp
+	$(GO) test -bench='$(BENCH_PATTERN)' -benchmem \
+		-benchtime=$(BENCHTIME) -run=^$$ $(BENCH_PKGS) > BENCH_sched.tmp
 	$(GO) run ./cmd/benchjson < BENCH_sched.tmp > BENCH_sched.json
 	rm -f BENCH_sched.tmp
+
+# bench-check reruns the artifact benchmarks and fails if BENCH_sched.json
+# is stale (benchmarks added/removed without `make bench-json`) or if any
+# benchmark regressed more than MAX_REGRESS vs the committed numbers.
+bench-check:
+	$(GO) test -bench='$(BENCH_PATTERN)' -benchmem \
+		-benchtime=$(BENCHTIME) -run=^$$ $(BENCH_PKGS) > BENCH_check.tmp
+	$(GO) run ./cmd/benchjson -check BENCH_sched.json -max-regress $(MAX_REGRESS) < BENCH_check.tmp; \
+		status=$$?; rm -f BENCH_check.tmp; exit $$status
 
 run:
 	$(GO) run ./cmd/manasim

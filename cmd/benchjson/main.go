@@ -10,18 +10,30 @@
 // pkg, PASS, ...) are ignored, so the tool can be fed the raw output of
 // `go test -bench ... ./...` across multiple packages.
 //
+// With -check, the tool instead compares the bench output on stdin
+// against a committed baseline artifact and exits non-zero if the
+// baseline is stale (the benchmark name sets differ — someone added or
+// removed a benchmark without regenerating BENCH_sched.json) or if any
+// benchmark's ns/op regressed beyond -max-regress (default 0.30, i.e.
+// 30%) relative to the baseline. CI runs the check with a loose
+// multiplier because -benchtime=1x timings are noisy; `make bench-check`
+// applies the strict threshold at a real benchtime.
+//
 // Usage:
 //
 //	go test -bench=. -benchmem -run='^$' ./... | go run ./cmd/benchjson > BENCH_sched.json
+//	go test -bench=. -benchmem -run='^$' ./... | go run ./cmd/benchjson -check BENCH_sched.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -97,26 +109,131 @@ func parseLine(line string) (Result, bool) {
 	return r, sawNsPerOp
 }
 
-// run converts bench output from in to a JSON document on out.
-func run(in io.Reader, out io.Writer) error {
-	doc := Document{Benchmarks: []Result{}}
+// parse decodes every benchmark line from in.
+func parse(in io.Reader) ([]Result, error) {
+	results := []Result{}
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	for scanner.Scan() {
 		if r, ok := parseLine(scanner.Text()); ok {
-			doc.Benchmarks = append(doc.Benchmarks, r)
+			results = append(results, r)
 		}
 	}
 	if err := scanner.Err(); err != nil {
-		return fmt.Errorf("reading bench output: %w", err)
+		return nil, fmt.Errorf("reading bench output: %w", err)
+	}
+	return results, nil
+}
+
+// run converts bench output from in to a JSON document on out.
+func run(in io.Reader, out io.Writer) error {
+	results, err := parse(in)
+	if err != nil {
+		return err
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
+	return enc.Encode(Document{Benchmarks: results})
+}
+
+// check compares fresh bench output against the baseline document and
+// returns one error per violation: a stale name set (benchmarks added or
+// removed without regenerating the artifact) or an ns/op regression
+// beyond maxRegress (0.30 = fail when more than 30% slower).
+//
+// A regression verdict needs a meaningful measurement: when the fresh
+// run's window — iterations times the baseline per-op cost — is shorter
+// than minWindowNs, harness overhead dominates the figure (a one-shot run
+// of a 10ns benchmark "measures" microseconds) and the comparison is
+// skipped. Staleness is still enforced for such benchmarks, so a 1x CI
+// smoke gates the macro benchmarks and the artifact's shape, while short
+// microbenchmarks are only judged at a real benchtime.
+func check(results []Result, baseline Document, maxRegress, minWindowNs float64) []error {
+	var errs []error
+	base := make(map[string]Result, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		base[b.Name] = b
+	}
+	fresh := make(map[string]Result, len(results))
+	for _, r := range results {
+		fresh[r.Name] = r
+	}
+	var missing, unknown []string
+	for name := range base {
+		if _, ok := fresh[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	for name := range fresh {
+		if _, ok := base[name]; !ok {
+			unknown = append(unknown, name)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(unknown)
+	for _, name := range missing {
+		errs = append(errs, fmt.Errorf("stale baseline: %s is in the artifact but was not run", name))
+	}
+	for _, name := range unknown {
+		errs = append(errs, fmt.Errorf("stale baseline: %s was run but is missing from the artifact — regenerate with `make bench-json`", name))
+	}
+	for _, r := range results {
+		b, ok := base[r.Name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		if float64(r.Iterations)*b.NsPerOp < minWindowNs {
+			continue // too short to measure; staleness was still checked
+		}
+		if limit := b.NsPerOp * (1 + maxRegress); r.NsPerOp > limit {
+			errs = append(errs, fmt.Errorf("regression: %s %.4g ns/op vs baseline %.4g ns/op (limit %.4g, +%.0f%%)",
+				r.Name, r.NsPerOp, b.NsPerOp, limit, 100*(r.NsPerOp/b.NsPerOp-1)))
+		}
+	}
+	return errs
+}
+
+// runCheck loads the baseline, parses stdin and reports violations.
+func runCheck(in io.Reader, errOut io.Writer, baselinePath string, maxRegress, minWindowNs float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var baseline Document
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return fmt.Errorf("decoding baseline %s: %w", baselinePath, err)
+	}
+	results, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results on stdin")
+	}
+	errs := check(results, baseline, maxRegress, minWindowNs)
+	for _, e := range errs {
+		fmt.Fprintf(errOut, "benchjson: %v\n", e)
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("%d check(s) failed against %s", len(errs), baselinePath)
+	}
+	fmt.Fprintf(errOut, "benchjson: %d benchmarks within %.0f%% of %s\n",
+		len(results), 100*maxRegress, baselinePath)
+	return nil
 }
 
 func main() {
-	if err := run(os.Stdin, os.Stdout); err != nil {
+	checkPath := flag.String("check", "", "baseline JSON artifact to compare stdin against instead of emitting JSON")
+	maxRegress := flag.Float64("max-regress", 0.30, "with -check, maximum tolerated ns/op regression (0.30 = 30%)")
+	minWindow := flag.Float64("min-window-ns", 100_000, "with -check, skip the regression verdict for runs measured over a shorter window than this")
+	flag.Parse()
+	var err error
+	if *checkPath != "" {
+		err = runCheck(os.Stdin, os.Stderr, *checkPath, *maxRegress, *minWindow)
+	} else {
+		err = run(os.Stdin, os.Stdout)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -91,5 +92,106 @@ func TestRunEmptyInput(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), `"benchmarks": []`) {
 		t.Errorf("empty input should yield an empty benchmark list, got %s", out.String())
+	}
+}
+
+// baselineOf builds a Document from (name, ns/op) pairs.
+func baselineOf(pairs map[string]float64) Document {
+	doc := Document{}
+	for name, ns := range pairs {
+		doc.Benchmarks = append(doc.Benchmarks, Result{Name: name, Iterations: 1, NsPerOp: ns})
+	}
+	return doc
+}
+
+func resultsOf(pairs map[string]float64) []Result {
+	var out []Result
+	for name, ns := range pairs {
+		out = append(out, Result{Name: name, Iterations: 1, NsPerOp: ns})
+	}
+	return out
+}
+
+func TestCheckPassesWithinThreshold(t *testing.T) {
+	base := baselineOf(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 50})
+	fresh := resultsOf(map[string]float64{"BenchmarkA": 120, "BenchmarkB": 40})
+	if errs := check(fresh, base, 0.30, 0); len(errs) != 0 {
+		t.Errorf("check failed within threshold: %v", errs)
+	}
+}
+
+func TestCheckFlagsRegression(t *testing.T) {
+	base := baselineOf(map[string]float64{"BenchmarkA": 100})
+	fresh := resultsOf(map[string]float64{"BenchmarkA": 131})
+	errs := check(fresh, base, 0.30, 0)
+	if len(errs) != 1 {
+		t.Fatalf("check returned %d errors, want 1 regression: %v", len(errs), errs)
+	}
+	if !strings.Contains(errs[0].Error(), "regression") {
+		t.Errorf("error does not name the regression: %v", errs[0])
+	}
+}
+
+func TestCheckFlagsStaleNameSets(t *testing.T) {
+	base := baselineOf(map[string]float64{"BenchmarkGone": 100, "BenchmarkKept": 10})
+	fresh := resultsOf(map[string]float64{"BenchmarkKept": 10, "BenchmarkNew": 5})
+	errs := check(fresh, base, 0.30, 0)
+	if len(errs) != 2 {
+		t.Fatalf("check returned %d errors, want 2 staleness findings: %v", len(errs), errs)
+	}
+	joined := errs[0].Error() + errs[1].Error()
+	if !strings.Contains(joined, "BenchmarkGone") || !strings.Contains(joined, "BenchmarkNew") {
+		t.Errorf("staleness findings do not name both drifted benchmarks: %v", errs)
+	}
+}
+
+// TestCheckSkipsTooShortMeasurements pins the measurement-window rule: a
+// one-iteration run of a nanosecond-scale benchmark measures harness
+// overhead, not the benchmark, so no regression verdict is possible —
+// while a macro benchmark whose single iteration already spans the window
+// is still gated, and staleness applies to everything regardless.
+func TestCheckSkipsTooShortMeasurements(t *testing.T) {
+	base := baselineOf(map[string]float64{"BenchmarkNano": 10, "BenchmarkMacro": 1e6})
+	fresh := []Result{
+		{Name: "BenchmarkNano", Iterations: 1, NsPerOp: 9000}, // overhead-dominated
+		{Name: "BenchmarkMacro", Iterations: 1, NsPerOp: 5e6}, // real 5x regression
+	}
+	errs := check(fresh, base, 0.30, 100_000)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "BenchmarkMacro") {
+		t.Fatalf("check = %v, want exactly the macro regression", errs)
+	}
+	// With enough iterations the nano benchmark's window is meaningful
+	// again and its regression is flagged.
+	fresh[0].Iterations = 1_000_000
+	errs = check(fresh, base, 0.30, 100_000)
+	if len(errs) != 2 {
+		t.Fatalf("check = %v, want both regressions once the window is sufficient", errs)
+	}
+}
+
+func TestRunCheckAgainstFile(t *testing.T) {
+	dir := t.TempDir()
+	baseline := dir + "/baseline.json"
+	var buf strings.Builder
+	if err := run(strings.NewReader(sampleBenchOutput), &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := os.WriteFile(baseline, []byte(buf.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var diag strings.Builder
+	// Identical output vs its own artifact: clean pass.
+	if err := runCheck(strings.NewReader(sampleBenchOutput), &diag, baseline, 0.30, 0); err != nil {
+		t.Errorf("runCheck of identical results failed: %v\n%s", err, diag.String())
+	}
+	// A 10x slowdown of one benchmark must fail.
+	slowed := strings.Replace(sampleBenchOutput, "751778 ns/op", "7517780 ns/op", 1)
+	diag.Reset()
+	if err := runCheck(strings.NewReader(slowed), &diag, baseline, 0.30, 0); err == nil {
+		t.Error("runCheck accepted a 10x regression")
+	}
+	// Empty input is always an error: the benchmarks did not run.
+	if err := runCheck(strings.NewReader("PASS\n"), &diag, baseline, 0.30, 0); err == nil {
+		t.Error("runCheck accepted empty bench output")
 	}
 }

@@ -14,6 +14,7 @@
 //
 //	go run ./cmd/manasim [-ranks 8] [-steps 30] [-seed 42] [-kernel unpatched|patched]
 //	                     [-virtid sharded|mutex] [-ckpt-at 5ms] [-fail-after 2] [-no-fail]
+//	                     [-incremental] [-full-every 4]
 package main
 
 import (
@@ -32,14 +33,16 @@ import (
 
 // scenario holds the CLI-selectable parameters of one simulated job.
 type scenario struct {
-	Ranks     int
-	Steps     int
-	Seed      uint64
-	Kernel    string
-	Virtid    string
-	CkptAt    time.Duration
-	FailAfter int
-	NoFail    bool
+	Ranks       int
+	Steps       int
+	Seed        uint64
+	Kernel      string
+	Virtid      string
+	CkptAt      time.Duration
+	FailAfter   int
+	NoFail      bool
+	Incremental bool
+	FullEvery   int
 }
 
 // defaultScenario mirrors the flag defaults; the golden test pins its
@@ -53,6 +56,7 @@ func defaultScenario() scenario {
 		Virtid:    "sharded",
 		CkptAt:    5 * time.Millisecond,
 		FailAfter: 2,
+		FullEvery: 4,
 	}
 }
 
@@ -79,12 +83,17 @@ func buildConfig(s scenario) (coordinator.Config, error) {
 	if err != nil {
 		return cfg, fmt.Errorf("-virtid: %w", err)
 	}
+	if s.FullEvery < 0 {
+		return cfg, fmt.Errorf("-full-every must be non-negative (got %d)", s.FullEvery)
+	}
 
 	cfg = coordinator.DefaultConfig()
 	cfg.Ranks = s.Ranks
 	cfg.Personality = personality
 	cfg.Virtid = impl
 	cfg.Seed = s.Seed
+	cfg.Incremental = s.Incremental
+	cfg.FullImageEvery = s.FullEvery
 	cfg.Workload = rank.DefaultWorkload(s.Ranks, s.Steps, s.Seed)
 	cfg.Triggers = []coordinator.Trigger{
 		// First checkpoint: plain virtual-time trigger.
@@ -138,6 +147,8 @@ func main() {
 	flag.DurationVar(&s.CkptAt, "ckpt-at", def.CkptAt, "virtual time of the first checkpoint request")
 	flag.IntVar(&s.FailAfter, "fail-after", def.FailAfter, "inject a failure after this checkpoint commits (0 = never)")
 	flag.BoolVar(&s.NoFail, "no-fail", def.NoFail, "disable the failure/restart scenario")
+	flag.BoolVar(&s.Incremental, "incremental", def.Incremental, "write incremental (dirty-page delta) checkpoint images after the first full one")
+	flag.IntVar(&s.FullEvery, "full-every", def.FullEvery, "with -incremental, write a full image every Nth checkpoint (0 = only the first)")
 	flag.Parse()
 
 	cfg, err := buildConfig(s)

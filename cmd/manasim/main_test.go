@@ -43,6 +43,43 @@ func TestDefaultScenarioReportGolden(t *testing.T) {
 	}
 }
 
+// TestIncrementalScenarioReportGolden pins the -incremental scenario the
+// same way: the default workload checkpointed with delta images (full
+// every 4th), failure and restart included. Regenerate deliberately with:
+//
+//	go test ./cmd/manasim -run TestIncrementalScenarioReportGolden -update
+func TestIncrementalScenarioReportGolden(t *testing.T) {
+	s := defaultScenario()
+	s.Incremental = true
+	cfg, err := buildConfig(s)
+	if err != nil {
+		t.Fatalf("buildConfig: %v", err)
+	}
+	got, err := runScenario(cfg)
+	if err != nil {
+		t.Fatalf("runScenario: %v", err)
+	}
+	if !strings.Contains(got, "incremental=true") {
+		t.Errorf("incremental report does not surface its mode:\n%s", got)
+	}
+	golden := filepath.Join("testdata", "incremental_report.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("incremental-scenario report deviates from golden file.\n--- got\n%s\n--- want\n%s", got, want)
+	}
+}
+
 // TestScenarioByteIdenticalAcrossRuns is the CLI-level determinism
 // check: the same scenario must render the same bytes every time.
 func TestScenarioByteIdenticalAcrossRuns(t *testing.T) {
@@ -145,6 +182,7 @@ func TestBuildConfigValidation(t *testing.T) {
 		{"negative steps", func(s *scenario) { s.Steps = -1 }},
 		{"unknown kernel", func(s *scenario) { s.Kernel = "plan9" }},
 		{"unknown virtid", func(s *scenario) { s.Virtid = "bogolock" }},
+		{"negative full-every", func(s *scenario) { s.FullEvery = -1 }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

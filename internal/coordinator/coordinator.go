@@ -24,11 +24,15 @@
 //	received into the destination rank's buffer, until the counters
 //	agree that the network is quiescent.
 //
-//	Phase 2 (commit): each rank captures its upper-half memory snapshot
-//	(memsim.SnapshotUpperHalf) together with its clock, program counter,
-//	drained-message buffer and stats, and charges the image write time
-//	(with the §3.4 parallel-filesystem straggler model) to its
-//	checkpoint-overhead account.
+//	Phase 2 (commit): a per-rank pipeline — capture, dedup, write. Each
+//	rank captures its image (full on the first checkpoint and on the
+//	Config.FullImageEvery cadence, otherwise an incremental delta
+//	carrying only the pages dirtied since the previous checkpoint, with
+//	pages rewritten to identical contents deduplicated against the last
+//	committed generation), is charged the page-table scan and per-page
+//	hash costs of the capture, and then the image write time per dirty
+//	byte actually carried (with the §3.4 parallel-filesystem straggler
+//	model), all to its checkpoint-overhead account.
 //
 // Restart discards every rank's lower half, bootstraps a fresh one,
 // replays the saved upper-half region maps, restores clocks and network
@@ -42,6 +46,7 @@ package coordinator
 import (
 	"fmt"
 	"hash/fnv"
+	"io"
 	"sort"
 	"strings"
 
@@ -92,6 +97,16 @@ type Config struct {
 	// StragglerP and StragglerMax drive the §3.4 write-straggler model.
 	StragglerP   float64
 	StragglerMax float64
+	// Incremental enables delta checkpoint images: after the first (full)
+	// checkpoint, images carry only the pages dirtied since the previous
+	// one, so commit cost tracks dirty bytes instead of address-space
+	// size. Restart materialises the base+delta chain back into full
+	// state, bit-identical to full-image checkpointing.
+	Incremental bool
+	// FullImageEvery bounds the restart chain when Incremental is set: a
+	// self-contained full image is emitted every Nth checkpoint (1 = all
+	// full, 0 = only the first; the chain then grows without bound).
+	FullImageEvery int
 	// Seed drives the straggler RNG (and nothing else — the scheduler
 	// itself is deterministic).
 	Seed uint64
@@ -122,6 +137,7 @@ func DefaultConfig() Config {
 		CkptReadBandwidth:  4e9,
 		StragglerP:         0.1,
 		StragglerMax:       4.0,
+		FullImageEvery:     4,
 		Seed:               42,
 		// FailDelay is the deterministic mapping of the old scheduler's
 		// 25-iteration failure countdown: at the default workload
@@ -169,11 +185,36 @@ type CheckpointRecord struct {
 	DeferredFor  vtime.Duration
 	DrainedMsgs  int
 	DrainedBytes uint64
-	ImageBytes   uint64
-	// MaxWriteTime is the slowest rank's image write (straggler-scaled).
+	// ImageBytes is what this checkpoint actually wrote to the parallel
+	// filesystem: full snapshots, or only the carried (post-dedup) dirty
+	// pages for incremental images.
+	ImageBytes uint64
+	// FullBytes is what self-contained images of the same state would
+	// have written; ImageBytes/FullBytes is the incremental saving.
+	FullBytes uint64
+	// DirtyBytes counts the bytes in pages dirtied since the previous
+	// checkpoint, before dedup (equal to ImageBytes for full images).
+	DirtyBytes uint64
+	// DedupBytes counts dirty page bytes dropped because their contents
+	// were bit-identical to the previous committed generation.
+	DedupBytes uint64
+	// FullImages and DeltaImages count per-rank image modes (a rank with
+	// no committed base falls back to full even mid-chain).
+	FullImages  int
+	DeltaImages int
+	// MaxWriteTime is the slowest rank's image write (straggler-scaled);
+	// for incremental checkpoints it is charged per dirty byte carried.
 	MaxWriteTime vtime.Duration
 	// Fingerprint digests every rank's image for determinism checks.
 	Fingerprint uint64
+}
+
+// DedupRatio reports the fraction of dirty bytes dropped by dedup.
+func (r CheckpointRecord) DedupRatio() float64 {
+	if r.DirtyBytes == 0 {
+		return 0
+	}
+	return float64(r.DedupBytes) / float64(r.DirtyBytes)
 }
 
 // RestartRecord describes one restart.
@@ -189,12 +230,28 @@ type request struct {
 	midCollective bool
 }
 
-// committed holds the last committed checkpoint, from which Restart
-// rebuilds the job.
+// committed holds the last committed checkpoint chain, from which Restart
+// rebuilds the job: chain[0] is the most recent full image generation,
+// every later element an incremental generation on top of its
+// predecessor. The small state (clocks, counters) of the newest link is
+// what restart resumes from; restart reads every link, which is why
+// Config.FullImageEvery bounds the chain length.
 type committed struct {
 	seq      int
-	images   []rank.Image
+	chain    [][]rank.Image
 	counters netsim.Counters
+}
+
+// materialize folds rank i's base+delta chain into one full image and
+// returns it together with the bytes restart had to read to do so.
+func (c *committed) materialize(i int) (rank.Image, uint64) {
+	img := c.chain[0][i]
+	readBytes := img.Bytes()
+	for _, gen := range c.chain[1:] {
+		readBytes += gen[i].Bytes()
+		img = rank.Overlay(img, gen[i])
+	}
+	return img, readBytes
 }
 
 // eventKind identifies one scheduler event type.
@@ -602,6 +659,118 @@ func (c *Coordinator) drain(rec *CheckpointRecord) error {
 	return nil
 }
 
+// wantIncremental decides this checkpoint's capture mode: incremental
+// only when configured, when a committed chain exists to delta against,
+// and when the FullImageEvery cadence has not come due (each full image
+// starts a new chain, bounding how many links a restart must read).
+func (c *Coordinator) wantIncremental() bool {
+	if !c.cfg.Incremental || c.last == nil {
+		return false
+	}
+	if c.cfg.FullImageEvery > 0 && len(c.last.chain) >= c.cfg.FullImageEvery {
+		return false
+	}
+	return true
+}
+
+// captureStage captures one rank's image in the requested mode, charges
+// the capture-side kernel costs (page-table scan over the whole upper
+// half, one content hash per dirty page — only the scan scales with
+// address-space size) and stamps the chain bookkeeping.
+func (c *Coordinator) captureStage(r *rank.Rank, incremental bool, seq int) rank.Image {
+	img := r.CaptureImage(incremental)
+	img.Seq = seq
+	if !img.Full {
+		img.Base = seq - 1
+		k := r.Kernel()
+		r.ChargeCkptOverhead(vtime.Duration(img.Delta.ScannedPages)*k.PageScanCost() +
+			vtime.Duration(img.Delta.DirtyPages)*k.PageHashCost())
+	}
+	return img
+}
+
+// accountStage folds one image's size accounting into the record.
+func (c *Coordinator) accountStage(img rank.Image, rec *CheckpointRecord) {
+	rec.ImageBytes += img.Bytes()
+	rec.FullBytes += img.FullBytes()
+	if img.Full {
+		rec.FullImages++
+		rec.DirtyBytes += img.Bytes()
+		return
+	}
+	rec.DeltaImages++
+	rec.DirtyBytes += img.Delta.DirtyBytes
+	rec.DedupBytes += img.Delta.DedupBytes
+}
+
+// writeStage charges one rank's PFS image write — per byte actually
+// carried, so incremental checkpoints pay for dirty pages only — with the
+// §3.4 straggler model applied on top.
+func (c *Coordinator) writeStage(r *rank.Rank, img rank.Image, rec *CheckpointRecord) {
+	writeTime := ioTime(img.Bytes(), c.cfg.CkptWriteBandwidth)
+	if c.cfg.StragglerP > 0 {
+		writeTime = vtime.Duration(float64(writeTime) * c.rng.Straggler(c.cfg.StragglerP, c.cfg.StragglerMax))
+	}
+	r.ChargeCkptOverhead(writeTime)
+	if writeTime > rec.MaxWriteTime {
+		rec.MaxWriteTime = writeTime
+	}
+}
+
+// digestImage folds one image into the checkpoint fingerprint. Every
+// payload iterated here is sorted by construction (regions by address,
+// pages by index, virtid entries by virtual id), so the digest is
+// deterministic across runs.
+func (c *Coordinator) digestImage(h io.Writer, img rank.Image) {
+	if img.Full {
+		fmt.Fprintf(h, "%d:%d:%d:%x:%+v;", img.RankID, img.PC, img.Clock, img.Mem.Fingerprint(), img.Stats)
+	} else {
+		fmt.Fprintf(h, "%d:%d:%d:delta(%d<-%d,brk=%x):%+v;",
+			img.RankID, img.PC, img.Clock, img.Seq, img.Base, img.Delta.Brk, img.Stats)
+		for _, rd := range img.Delta.Regions {
+			fmt.Fprintf(h, "rd(%q,%d,%d,%x,%d,%d", rd.Name, rd.Half, rd.Kind, rd.Addr, rd.Size, rd.DataLen)
+			for _, p := range rd.Pages {
+				fmt.Fprintf(h, ",%d=%x", p.Index, p.Hash)
+			}
+			fmt.Fprint(h, ");")
+		}
+	}
+	for _, m := range img.Inbox {
+		fmt.Fprintf(h, "in(%d,%d,%d,%d,%d);", m.Src, m.Dst, m.Tag, m.Bytes, m.Arrive)
+	}
+	for k := 0; k < virtid.NumKinds; k++ {
+		fmt.Fprintf(h, "vt(%d,%d", k, img.Virt.Next[k])
+		for _, e := range img.Virt.Entries[k] {
+			fmt.Fprintf(h, ",%d=%x", e.VID, e.Real)
+		}
+		fmt.Fprint(h, ");")
+	}
+	for _, req := range img.PendingReqs {
+		fmt.Fprintf(h, "pr(%d);", req)
+	}
+}
+
+// commitStage installs the captured generation as the newest committed
+// state: full generations start a fresh chain, incremental ones extend
+// it. A generation must be uniformly full or uniformly delta — ranks are
+// constructed, checkpointed and restored together, so a mix means the
+// coordinator's mode decision and the ranks' fallback logic disagree.
+func (c *Coordinator) commitStage(images []rank.Image, rec *CheckpointRecord) {
+	for _, img := range images[1:] {
+		if img.Full != images[0].Full {
+			panic(fmt.Sprintf("coordinator: checkpoint #%d mixes full and delta images", rec.Seq))
+		}
+	}
+	counters := c.net.CountersSnapshot()
+	if images[0].Full || c.last == nil {
+		c.last = &committed{seq: rec.Seq, chain: [][]rank.Image{images}, counters: counters}
+		return
+	}
+	c.last.seq = rec.Seq
+	c.last.chain = append(c.last.chain, images)
+	c.last.counters = counters
+}
+
 // checkpoint services the oldest pending request with the two-phase
 // protocol. The caller guarantees the job is at a safe point. Ranks left
 // blocked in a receive whose message was drained into their inbox are
@@ -628,41 +797,20 @@ func (c *Coordinator) checkpoint() error {
 	rec.SafeAt = c.MaxClock()
 	rec.DeferredFor = rec.SafeAt.Sub(rec.RequestedAt)
 
-	// Phase 2: capture and "write" every rank's image.
+	// Phase 2: the commit pipeline — capture, dedup accounting, write —
+	// run rank by rank in rank order, so no map order reaches the record.
+	incremental := c.wantIncremental()
 	images := make([]rank.Image, len(c.ranks))
 	h := fnv.New64a()
 	for i, r := range c.ranks {
-		img := r.CaptureImage()
-		writeTime := ioTime(img.Bytes(), c.cfg.CkptWriteBandwidth)
-		if c.cfg.StragglerP > 0 {
-			writeTime = vtime.Duration(float64(writeTime) * c.rng.Straggler(c.cfg.StragglerP, c.cfg.StragglerMax))
-		}
-		r.ChargeCkptOverhead(writeTime)
-		if writeTime > rec.MaxWriteTime {
-			rec.MaxWriteTime = writeTime
-		}
-		rec.ImageBytes += img.Bytes()
-		fmt.Fprintf(h, "%d:%d:%d:%x:%+v;", img.RankID, img.PC, img.Clock, img.Mem.Fingerprint(), img.Stats)
-		for _, m := range img.Inbox {
-			fmt.Fprintf(h, "in(%d,%d,%d,%d,%d);", m.Src, m.Dst, m.Tag, m.Bytes, m.Arrive)
-		}
-		// The virtid snapshot is deterministic by construction (entries
-		// sorted by virtual id, never map iteration order), so it can be
-		// digested directly.
-		for k := 0; k < virtid.NumKinds; k++ {
-			fmt.Fprintf(h, "vt(%d,%d", k, img.Virt.Next[k])
-			for _, e := range img.Virt.Entries[k] {
-				fmt.Fprintf(h, ",%d=%x", e.VID, e.Real)
-			}
-			fmt.Fprint(h, ");")
-		}
-		for _, req := range img.PendingReqs {
-			fmt.Fprintf(h, "pr(%d);", req)
-		}
+		img := c.captureStage(r, incremental, rec.Seq)
+		c.accountStage(img, &rec)
+		c.writeStage(r, img, &rec)
+		c.digestImage(h, img)
 		images[i] = img
 	}
 	rec.Fingerprint = h.Sum64()
-	c.last = &committed{seq: rec.Seq, images: images, counters: c.net.CountersSnapshot()}
+	c.commitStage(images, &rec)
 	c.records = append(c.records, rec)
 
 	if c.cfg.FailAtCheckpoint == rec.Seq {
@@ -677,17 +825,21 @@ func (c *Coordinator) checkpoint() error {
 // rank discards its lower half, bootstraps a fresh one, replays the
 // saved upper-half region map and resumes its clock, program counter and
 // drained-message buffer; the network counters are restored and its
-// queues cleared (the image was taken on a quiescent network). The event
-// queue is cleared — ready, delivery, collective and failure events all
-// referenced the abandoned timeline — and reseeded from the restored
-// state: one ready event per unfinished rank plus the unfired triggers.
+// queues cleared (the image was taken on a quiescent network). An
+// incremental checkpoint is materialised first — the base full image
+// overlaid with every delta generation in commit order, reading each link
+// off the parallel filesystem (the read time restart is charged for,
+// which is why FullImageEvery bounds the chain). The event queue is
+// cleared — ready, delivery, collective and failure events all referenced
+// the abandoned timeline — and reseeded from the restored state: one
+// ready event per unfinished rank plus the unfired triggers.
 func (c *Coordinator) Restart() error {
 	if c.last == nil {
 		return fmt.Errorf("coordinator: no committed checkpoint to restart from")
 	}
 	for i, r := range c.ranks {
-		img := c.last.images[i]
-		readTime := ioTime(img.Bytes(), c.cfg.CkptReadBandwidth)
+		img, readBytes := c.last.materialize(i)
+		readTime := ioTime(readBytes, c.cfg.CkptReadBandwidth)
 		r.Restore(img)
 		r.ChargeCkptOverhead(r.Kernel().RestartReinitCost() + readTime)
 	}
@@ -761,12 +913,16 @@ func (c *Coordinator) Report() string {
 			st.Collectives, st.ManaOverhead, r.CkptOverhead())
 	}
 
-	fmt.Fprintf(&b, "\ncheckpoints: %d committed\n", len(c.records))
+	fmt.Fprintf(&b, "\ncheckpoints: %d committed (incremental=%v, full-every=%d)\n",
+		len(c.records), c.cfg.Incremental, c.cfg.FullImageEvery)
 	for _, rec := range c.records {
 		fmt.Fprintf(&b, "  #%d requested@%v mid-collective=%v deferred=%v safe@%v\n",
 			rec.Seq, rec.RequestedAt, rec.MidCollective, rec.DeferredFor, rec.SafeAt)
-		fmt.Fprintf(&b, "     drained %d msgs (%d bytes), image %d bytes, slowest write %v, fp=%016x\n",
-			rec.DrainedMsgs, rec.DrainedBytes, rec.ImageBytes, rec.MaxWriteTime, rec.Fingerprint)
+		fmt.Fprintf(&b, "     drained %d msgs (%d bytes), wrote %d bytes (%dF+%dD), slowest write %v, fp=%016x\n",
+			rec.DrainedMsgs, rec.DrainedBytes, rec.ImageBytes, rec.FullImages, rec.DeltaImages,
+			rec.MaxWriteTime, rec.Fingerprint)
+		fmt.Fprintf(&b, "     full %d bytes, dirty %d bytes, dedup %.3f\n",
+			rec.FullBytes, rec.DirtyBytes, rec.DedupRatio())
 	}
 
 	if len(c.restarts) > 0 {

@@ -88,6 +88,13 @@ const (
 	// lower half and bootstrapping a fresh one on restart: loading the MPI
 	// and network libraries and re-running MPI_Init (§3.2).
 	restartReinitCost = 180 * vtime.Millisecond
+	// pageScanCost is the per-page cost of walking the upper half's page
+	// tables at incremental-capture time to read the dirty bits (a
+	// soft-dirty style scan touches one PTE per resident page).
+	pageScanCost = 10 * vtime.Nanosecond
+	// pageHashCost is the per-page cost of content-hashing one dirty
+	// 4 KiB page for the incremental image's dedup check (~10 GB/s).
+	pageHashCost = 400 * vtime.Nanosecond
 )
 
 // Kernel is the cost model for one node's kernel.
@@ -203,6 +210,20 @@ func (k *Kernel) DrainBufferCost(bytes uint64) vtime.Duration {
 // half on restart (bootstrap load + fresh MPI_Init).
 func (k *Kernel) RestartReinitCost() vtime.Duration {
 	return restartReinitCost
+}
+
+// PageScanCost returns the per-page cost of reading dirty bits out of the
+// page tables during an incremental capture. The scan visits every
+// upper-half page (that part stays proportional to address-space size —
+// it is the cheap part); copying and hashing are charged per dirty page.
+func (k *Kernel) PageScanCost() vtime.Duration {
+	return pageScanCost
+}
+
+// PageHashCost returns the per-dirty-page cost of content-hashing one
+// 4 KiB page for the incremental image's dedup index.
+func (k *Kernel) PageHashCost() vtime.Duration {
+	return pageHashCost
 }
 
 // SbrkBehavior describes what the (real) kernel would do on an sbrk call in

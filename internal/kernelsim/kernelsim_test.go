@@ -105,6 +105,14 @@ func TestAuxiliaryCostsPositive(t *testing.T) {
 	if k.VirtualizationLookupCost() <= 0 || k.RecordMetadataCost() <= 0 || k.SyscallCost() <= 0 {
 		t.Errorf("auxiliary costs must be positive")
 	}
+	if k.PageScanCost() <= 0 || k.PageHashCost() <= 0 {
+		t.Errorf("incremental-capture costs must be positive")
+	}
+	// Reading one dirty bit must be much cheaper than hashing the page it
+	// guards, or incremental capture could never beat a full copy.
+	if 10*k.PageScanCost() > k.PageHashCost() {
+		t.Errorf("page scan %v should be well below page hash %v", k.PageScanCost(), k.PageHashCost())
+	}
 }
 
 func TestSbrkBehavior(t *testing.T) {

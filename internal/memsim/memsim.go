@@ -13,12 +13,20 @@
 // same hazards the paper describes (sbrk after restart would grow the wrong
 // program's data segment unless interposed, §2.1); and it produces
 // Snapshots containing exactly the regions a checkpoint image must carry.
+//
+// Checkpoint cost is made proportional to touched memory, not address-space
+// size, by page-granular (4 KiB) dirty tracking: every write path marks
+// pages in a per-region dirty bitmap, CommitUpperHalf seals region contents
+// copy-on-write (a clean region's snapshot aliases the last committed
+// backing slice instead of being deep-copied), and CommitUpperHalfDelta
+// (delta.go) emits only the dirty pages plus per-page content hashes.
 package memsim
 
 import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"math/bits"
 	"sort"
 	"sync"
 )
@@ -90,6 +98,11 @@ func (k Kind) String() string {
 	return "unknown"
 }
 
+// PageSize is the dirty-tracking granularity: the smallest unit of memory
+// an incremental checkpoint copies, hashes and writes. It matches the
+// x86-64 base page size the real MANA's mem-region scan operates on.
+const PageSize = 4096
+
 // Region is one contiguous mapping in the simulated address space.
 type Region struct {
 	// Name is a human-readable label, e.g. "libmpich.so.text" or
@@ -107,19 +120,153 @@ type Region struct {
 	// explicit contents (e.g. library text modelled only for size
 	// accounting) checkpoint as zero-filled pages of length Size.
 	Data []byte
+
+	// dirty is the per-page dirty bitmap of the live region: bit i set
+	// means page i has been written since the last committed snapshot.
+	// Snapshot copies of a Region never carry a bitmap.
+	dirty []uint64
+	// sealed is the region's content at the last committed snapshot. It
+	// is immutable once captured — committed snapshots alias it, writes
+	// go to Data — so a clean region's next snapshot needs no copy.
+	sealed []byte
+	// hasSeal reports whether sealed is meaningful (a nil sealed slice is
+	// a valid seal for a region whose contents were never materialised).
+	hasSeal bool
+	// sealShared reports whether some snapshot aliases sealed. A shared
+	// seal is immutable (delta commits must replace it); an unshared one
+	// can be patched in place, keeping delta commit copies O(dirty bytes).
+	sealShared bool
+	// hash memoises the region's content digest; hashOK is cleared by
+	// every mutation so Fingerprint never re-hashes clean regions.
+	hash   uint64
+	hashOK bool
 }
 
 // End returns the first address past the region.
 func (r *Region) End() uint64 { return r.Addr + r.Size }
 
-// clone returns a deep copy of the region (including contents).
+// pageCount returns the number of PageSize pages covering n bytes.
+func pageCount(n uint64) int { return int((n + PageSize - 1) / PageSize) }
+
+// markDirty sets the dirty bits for the byte range [off, off+n).
+func (r *Region) markDirty(off, n uint64) {
+	if n == 0 {
+		return
+	}
+	r.ensureBitmap()
+	first := int(off / PageSize)
+	last := int((off + n - 1) / PageSize)
+	for p := first; p <= last; p++ {
+		r.dirty[p/64] |= 1 << (uint(p) % 64)
+	}
+	r.hashOK = false
+}
+
+// markAllDirty sets every page's dirty bit (newborn or resized regions).
+func (r *Region) markAllDirty() {
+	r.dirty = nil
+	r.ensureBitmap()
+	for i := range r.dirty {
+		r.dirty[i] = ^uint64(0)
+	}
+	// Mask the bits past the last page so popcounts stay exact.
+	if extra := uint(pageCount(r.Size)) % 64; extra != 0 && len(r.dirty) > 0 {
+		r.dirty[len(r.dirty)-1] = (1 << extra) - 1
+	}
+	r.hashOK = false
+}
+
+func (r *Region) ensureBitmap() {
+	if words := (pageCount(r.Size) + 63) / 64; len(r.dirty) != words {
+		grown := make([]uint64, words)
+		copy(grown, r.dirty)
+		r.dirty = grown
+	}
+}
+
+func (r *Region) clearDirty() {
+	for i := range r.dirty {
+		r.dirty[i] = 0
+	}
+}
+
+func (r *Region) anyDirty() bool {
+	for _, w := range r.dirty {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// dirtyPages returns the dirty page indices in ascending order — the
+// deterministic iteration order every delta payload is built in.
+func (r *Region) dirtyPages() []int {
+	var out []int
+	for w, word := range r.dirty {
+		for ; word != 0; word &= word - 1 {
+			out = append(out, w*64+bits.TrailingZeros64(word))
+		}
+	}
+	return out
+}
+
+// isClean reports whether the region's contents are bit-identical to its
+// last committed seal, so a snapshot may alias the sealed slice.
+func (r *Region) isClean() bool { return r.hasSeal && !r.anyDirty() }
+
+// invalidateSeal forgets the committed seal (used when the region is
+// resized: page indices no longer line up with the sealed content, so the
+// next delta must carry the region in full).
+func (r *Region) invalidateSeal() {
+	r.sealed = nil
+	r.hasSeal = false
+	r.sealShared = false
+	r.markAllDirty()
+}
+
+// clone returns a deep copy of the region's checkpointable state
+// (metadata and contents); the live-space tracking fields (dirty bitmap,
+// seal, hash memo) deliberately do not travel with the copy.
 func (r *Region) clone() Region {
-	c := *r
+	c := Region{Name: r.Name, Half: r.Half, Kind: r.Kind, Addr: r.Addr, Size: r.Size}
 	if r.Data != nil {
 		c.Data = make([]byte, len(r.Data))
 		copy(c.Data, r.Data)
 	}
 	return c
+}
+
+// contentHash digests one region's checkpointable state: layout metadata
+// and contents. Snapshot.Fingerprint combines these per-region digests, so
+// memoising them per region (invalidated by the dirty bitmap) makes
+// repeated fingerprints of a mostly-clean space cheap.
+func contentHash(name string, half Half, kind Kind, addr, size uint64, data []byte) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeU64(uint64(len(name)))
+	h.Write([]byte(name))
+	writeU64(uint64(half))
+	writeU64(uint64(kind))
+	writeU64(addr)
+	writeU64(size)
+	writeU64(uint64(len(data)))
+	h.Write(data)
+	return h.Sum64()
+}
+
+// contentHashNow returns the region's memoised content digest, refreshing
+// it if a write invalidated the memo.
+func (r *Region) contentHashNow() uint64 {
+	if !r.hashOK {
+		r.hash = contentHash(r.Name, r.Half, r.Kind, r.Addr, r.Size, r.Data)
+		r.hashOK = true
+	}
+	return r.hash
 }
 
 // Layout constants for the simulated address space. The exact values are
@@ -143,6 +290,9 @@ type AddressSpace struct {
 	brkBase     uint64
 	sbrkInter   bool // MANA's sbrk interposition active
 	postRestart bool // true once the space has been rebuilt from an image
+	// gen counts committed snapshot generations (CommitUpperHalf and
+	// CommitUpperHalfDelta); deltas are always relative to generation gen.
+	gen uint64
 }
 
 // NewAddressSpace returns an empty address space with MANA's sbrk
@@ -218,6 +368,9 @@ func (a *AddressSpace) mmapLocked(name string, half Half, kind Kind, size uint64
 		panic(fmt.Sprintf("memsim: invalid half %d", half))
 	}
 	r := &Region{Name: name, Half: half, Kind: kind, Addr: addr, Size: size}
+	// A newborn region is entirely dirty: the next incremental snapshot
+	// must carry it whole (there is no committed base to delta against).
+	r.markAllDirty()
 	a.regions[addr] = r
 	return r
 }
@@ -293,6 +446,50 @@ func (a *AddressSpace) Sbrk(delta uint64) SbrkResult {
 	r := a.mmapLocked("[heap]", UpperHalf, KindHeap, delta)
 	a.brk += align(delta)
 	return SbrkResult{Region: r}
+}
+
+// SbrkShrink releases up to delta bytes from the top of the upper-half
+// heap (most recently allocated heap regions first, mirroring how a real
+// brk retreats) and returns the number of bytes actually released. A
+// region shrunk partially keeps its address but loses its tail; its dirty
+// bitmap and committed seal are reset so the next incremental snapshot
+// carries the resized region in full — page indices no longer line up
+// with the old seal, so deltas against it would be unsound.
+func (a *AddressSpace) SbrkShrink(delta uint64) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	heaps := make([]*Region, 0, 4)
+	for _, r := range a.regions {
+		if r.Half == UpperHalf && r.Kind == KindHeap {
+			heaps = append(heaps, r)
+		}
+	}
+	sort.Slice(heaps, func(i, j int) bool { return heaps[i].Addr > heaps[j].Addr })
+	var released uint64
+	for _, r := range heaps {
+		if delta == 0 {
+			break
+		}
+		if delta >= r.Size {
+			delta -= r.Size
+			released += r.Size
+			delete(a.regions, r.Addr)
+			continue
+		}
+		r.Size -= delta
+		if uint64(len(r.Data)) > r.Size {
+			r.Data = r.Data[:r.Size]
+		}
+		r.invalidateSeal()
+		released += delta
+		delta = 0
+	}
+	if a.brk > a.brkBase+released {
+		a.brk -= released
+	} else if a.brk > a.brkBase {
+		a.brk = a.brkBase
+	}
+	return released
 }
 
 // Regions returns a snapshot slice of all regions sorted by address.
@@ -372,12 +569,18 @@ func (a *AddressSpace) Write(addr uint64, offset uint64, data []byte) error {
 	}
 	if r.Data == nil {
 		r.Data = make([]byte, r.Size)
+		// Materialising the backing store changes the region's recorded
+		// data length, which is part of the checkpointable state; the
+		// whole region must reach the next incremental image.
+		r.markAllDirty()
 	} else if uint64(len(r.Data)) < r.Size {
 		grown := make([]byte, r.Size)
 		copy(grown, r.Data)
 		r.Data = grown
+		r.markAllDirty()
 	}
 	copy(r.Data[offset:], data)
+	r.markDirty(offset, uint64(len(data)))
 	return nil
 }
 
@@ -412,21 +615,107 @@ type Snapshot struct {
 	Regions []Region
 	// Brk is the saved program break so heap state can be restored.
 	Brk uint64
+	// RegionHashes optionally memoises the per-region content digests
+	// (parallel to Regions) captured from the address space's hash cache.
+	// Fingerprint uses them when present and recomputes when absent; the
+	// digest of a snapshot is identical either way. Equal ignores them.
+	RegionHashes []uint64
 }
 
-// SnapshotUpperHalf captures all upper-half regions. This is what MANA's
-// checkpoint helper writes to the image file.
-func (a *AddressSpace) SnapshotUpperHalf() Snapshot {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	snap := Snapshot{Brk: a.brk}
+// sortedUpperLocked returns the live upper-half regions in ascending
+// address order — the only iteration order capture paths ever use, so map
+// order never leaks into images, deltas or fingerprints.
+func (a *AddressSpace) sortedUpperLocked() []*Region {
+	out := make([]*Region, 0, len(a.regions))
 	for _, r := range a.regions {
 		if r.Half == UpperHalf {
-			snap.Regions = append(snap.Regions, r.clone())
+			out = append(out, r)
 		}
 	}
-	sort.Slice(snap.Regions, func(i, j int) bool { return snap.Regions[i].Addr < snap.Regions[j].Addr })
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// captureLocked builds a full snapshot. Clean regions — unchanged since
+// the last commit — alias the immutable sealed slice instead of being
+// deep-copied, so steady-state capture cost is proportional to dirty
+// bytes. When commit is set, freshly copied contents become the new seal
+// and the dirty bitmaps are cleared: the snapshot is the new base every
+// later delta is relative to.
+func (a *AddressSpace) captureLocked(commit bool) Snapshot {
+	upper := a.sortedUpperLocked()
+	snap := Snapshot{
+		Brk:          a.brk,
+		Regions:      make([]Region, 0, len(upper)),
+		RegionHashes: make([]uint64, 0, len(upper)),
+	}
+	for _, r := range upper {
+		var data []byte
+		if r.isClean() {
+			data = r.sealed
+			r.sealShared = true
+		} else {
+			if r.Data != nil {
+				data = make([]byte, len(r.Data))
+				copy(data, r.Data)
+			}
+			if commit {
+				r.sealed = data
+				r.hasSeal = true
+				r.sealShared = true
+				r.clearDirty()
+			}
+		}
+		c := Region{Name: r.Name, Half: r.Half, Kind: r.Kind, Addr: r.Addr, Size: r.Size, Data: data}
+		snap.Regions = append(snap.Regions, c)
+		snap.RegionHashes = append(snap.RegionHashes, r.contentHashNow())
+	}
+	if commit {
+		a.gen++
+	}
 	return snap
+}
+
+// SnapshotUpperHalf captures all upper-half regions without committing:
+// the dirty bitmaps and seals are left untouched, so observing the space
+// (reports, final fingerprints) never perturbs incremental checkpointing.
+// Regions clean against the last commit alias the sealed contents.
+func (a *AddressSpace) SnapshotUpperHalf() Snapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.captureLocked(false)
+}
+
+// CommitUpperHalf captures all upper-half regions and seals the result as
+// the new committed generation: dirty bitmaps are cleared and the next
+// delta (CommitUpperHalfDelta) is relative to this snapshot. This is what
+// MANA's checkpoint helper writes to a full image file.
+func (a *AddressSpace) CommitUpperHalf() Snapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.captureLocked(true)
+}
+
+// Generation returns the number of committed snapshots (full or delta)
+// taken of this space. Zero means no base exists yet, so an incremental
+// capture must fall back to a full one.
+func (a *AddressSpace) Generation() uint64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.gen
+}
+
+// DirtyPages returns the dirty page indices of the region at addr, in
+// ascending order, and whether the region exists. Tests and diagnostics
+// use it to observe the bitmap without capturing.
+func (a *AddressSpace) DirtyPages(addr uint64) ([]int, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	r, ok := a.regions[addr]
+	if !ok {
+		return nil, false
+	}
+	return r.dirtyPages(), true
 }
 
 // TotalBytes returns the number of bytes of memory captured by the
@@ -443,7 +732,10 @@ func (s Snapshot) TotalBytes() uint64 {
 // region layout, tags and contents all contribute. Two snapshots are
 // Equal iff their fingerprints match (up to hash collision), so restart
 // determinism checks and simulation reports can compare images cheaply
-// without carrying full region contents around.
+// without carrying full region contents around. It combines per-region
+// content digests, reusing the memoised RegionHashes when the capture
+// filled them in — the digest is identical whether or not the memo is
+// present, because the per-region function is the same.
 func (s Snapshot) Fingerprint() uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
@@ -453,15 +745,14 @@ func (s Snapshot) Fingerprint() uint64 {
 	}
 	writeU64(s.Brk)
 	writeU64(uint64(len(s.Regions)))
-	for _, r := range s.Regions {
-		writeU64(uint64(len(r.Name)))
-		h.Write([]byte(r.Name))
-		writeU64(uint64(r.Half))
-		writeU64(uint64(r.Kind))
-		writeU64(r.Addr)
-		writeU64(r.Size)
-		writeU64(uint64(len(r.Data)))
-		h.Write(r.Data)
+	memoised := len(s.RegionHashes) == len(s.Regions)
+	for i := range s.Regions {
+		if memoised {
+			writeU64(s.RegionHashes[i])
+			continue
+		}
+		r := &s.Regions[i]
+		writeU64(contentHash(r.Name, r.Half, r.Kind, r.Addr, r.Size, r.Data))
 	}
 	return h.Sum64()
 }
@@ -480,8 +771,15 @@ func (a *AddressSpace) RestoreUpperHalf(s Snapshot) {
 		}
 	}
 	maxEnd := uint64(upperBase)
-	for _, r := range s.Regions {
-		c := r.clone()
+	for i := range s.Regions {
+		// Restored regions deep-copy the image contents into fresh live
+		// buffers (the image must stay immutable) and start entirely
+		// dirty with no seal: restart begins a new incremental chain.
+		c := s.Regions[i].clone()
+		c.markAllDirty()
+		if len(s.RegionHashes) == len(s.Regions) {
+			c.hash, c.hashOK = s.RegionHashes[i], true
+		}
 		a.regions[c.Addr] = &c
 		if c.End() > maxEnd {
 			maxEnd = c.End()
@@ -492,6 +790,9 @@ func (a *AddressSpace) RestoreUpperHalf(s Snapshot) {
 	}
 	a.brk = s.Brk
 	a.postRestart = true
+	// The restored space has no committed generation: the first capture
+	// after restart is necessarily a full image.
+	a.gen = 0
 }
 
 // Equal reports whether two snapshots describe identical upper-half memory

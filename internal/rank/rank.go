@@ -153,20 +153,34 @@ type Stats struct {
 }
 
 // Image is one rank's checkpoint image: everything needed to resume the
-// rank bit-identically. Mem carries exactly the upper-half regions
-// (memsim.Snapshot); Inbox carries the in-flight messages the drain phase
+// rank bit-identically. A full image carries the complete upper half in
+// Mem (memsim.Snapshot); an incremental image (Full == false) instead
+// carries only the pages dirtied since the previous checkpoint in Delta,
+// and must be overlaid onto its base chain (Overlay) before Restore can
+// consume it. Inbox carries the in-flight messages the drain phase
 // buffered at the receiver (§3.1 — drained messages are saved in the
 // image and replayed to the application after restart); Virt carries the
 // handle-virtualisation table state (sorted, deterministic), from which
 // restart rebuilds the table so that live virtual handles keep resolving
-// while handles minted in the abandoned timeline do not.
+// while handles minted in the abandoned timeline do not. The small state
+// (PC, Clock, Inbox, Virt, PendingReqs, Stats) is carried in full by
+// every image, delta or not: only memory is worth incrementalising.
 type Image struct {
 	RankID int
 	PC     int
 	Clock  vtime.Time
-	Mem    memsim.Snapshot
-	Inbox  []netsim.Message
-	Virt   virtid.Snapshot
+	// Seq is the checkpoint sequence number this image belongs to and
+	// Base the sequence its delta applies on top of (0 for full images);
+	// both are assigned by the coordinator when the image commits.
+	Seq  int
+	Base int
+	// Full reports whether Mem carries a self-contained snapshot; when
+	// false, Delta carries the incremental payload instead.
+	Full  bool
+	Mem   memsim.Snapshot
+	Delta memsim.Delta
+	Inbox []netsim.Message
+	Virt  virtid.Snapshot
 	// PendingReqs is the FIFO of request handles posted by nonblocking
 	// operations and not yet retired by a wait — live handles that must
 	// keep resolving after restart.
@@ -174,10 +188,31 @@ type Image struct {
 	Stats       Stats
 }
 
-// Bytes returns the memory payload size of the image, including buffered
-// drained messages.
+// Bytes returns the payload the image writes to the parallel filesystem:
+// the full memory snapshot, or only the carried dirty pages for an
+// incremental image, plus buffered drained messages either way.
 func (img Image) Bytes() uint64 {
-	total := img.Mem.TotalBytes()
+	var total uint64
+	if img.Full {
+		total = img.Mem.TotalBytes()
+	} else {
+		total = img.Delta.PayloadBytes()
+	}
+	for _, m := range img.Inbox {
+		total += m.Bytes
+	}
+	return total
+}
+
+// FullBytes returns what a self-contained image of the same state would
+// have written — the full-vs-incremental comparison the report records.
+func (img Image) FullBytes() uint64 {
+	var total uint64
+	if img.Full {
+		total = img.Mem.TotalBytes()
+	} else {
+		total = img.Delta.FullBytes()
+	}
 	for _, m := range img.Inbox {
 		total += m.Bytes
 	}
@@ -683,10 +718,15 @@ func (r *Rank) BufferDrained(m *netsim.Message) {
 	r.inbox = append(r.inbox, *m)
 }
 
-// CaptureImage produces the rank's checkpoint image: the upper-half
-// memory snapshot, the program counter, the clock, the drain-buffered
-// inbox and the restorable stats. The image is fully deep-copied.
-func (r *Rank) CaptureImage() Image {
+// CaptureImage produces the rank's checkpoint image and commits the
+// memory generation it captures (sealing region contents, clearing dirty
+// bitmaps). With incremental set — and a previously committed generation
+// to delta against — the image carries only the pages dirtied since the
+// last checkpoint; the first capture after construction or restart always
+// falls back to a self-contained full image. Every image owns its payload:
+// full snapshots alias only immutable sealed slices, deltas carry fresh
+// page copies, and the small state is deep-copied.
+func (r *Rank) CaptureImage(incremental bool) Image {
 	if r.state == InCollective {
 		panic(fmt.Sprintf("rank %d: checkpoint while inside a collective", r.id))
 	}
@@ -694,16 +734,48 @@ func (r *Rank) CaptureImage() Image {
 	copy(inbox, r.inbox)
 	pending := make([]virtid.VID, len(r.pending))
 	copy(pending, r.pending)
-	return Image{
+	img := Image{
 		RankID:      r.id,
 		PC:          r.pc,
 		Clock:       r.clock.Now(),
-		Mem:         r.mem.SnapshotUpperHalf(),
 		Inbox:       inbox,
 		Virt:        r.vt.Snapshot(),
 		PendingReqs: pending,
 		Stats:       r.stats,
 	}
+	if incremental && r.mem.Generation() > 0 {
+		img.Delta = r.mem.CommitUpperHalfDelta()
+	} else {
+		img.Full = true
+		img.Mem = r.mem.CommitUpperHalf()
+	}
+	return img
+}
+
+// Overlay materialises an incremental image onto its base: the returned
+// image is full, bit-identical to the full image that would have been
+// captured at the delta's commit point. A full img passes through
+// untouched, so a restart loop can fold an arbitrary base+delta chain.
+func Overlay(base, img Image) Image {
+	if img.Full {
+		return img
+	}
+	if base.RankID != img.RankID {
+		panic(fmt.Sprintf("rank: overlay of rank %d delta onto rank %d base", img.RankID, base.RankID))
+	}
+	if !base.Full {
+		panic(fmt.Sprintf("rank %d: overlay base (seq %d) is itself a delta", base.RankID, base.Seq))
+	}
+	if img.Base != base.Seq {
+		panic(fmt.Sprintf("rank %d: delta seq %d applies to base seq %d, got base seq %d",
+			img.RankID, img.Seq, img.Base, base.Seq))
+	}
+	out := img
+	out.Full = true
+	out.Base = 0
+	out.Mem = memsim.ApplyDelta(base.Mem, img.Delta)
+	out.Delta = memsim.Delta{}
+	return out
 }
 
 // Restore rebuilds the rank from a checkpoint image, modelling MANA's
@@ -714,6 +786,10 @@ func (r *Rank) CaptureImage() Image {
 func (r *Rank) Restore(img Image) {
 	if img.RankID != r.id {
 		panic(fmt.Sprintf("rank %d: restore from image of rank %d", r.id, img.RankID))
+	}
+	if !img.Full {
+		panic(fmt.Sprintf("rank %d: restore from unmaterialised delta image (seq %d, base %d) — Overlay it first",
+			r.id, img.Seq, img.Base))
 	}
 	// The dead process's address space is gone; restart begins from a
 	// fresh one, exactly as the real bootstrap does. Rebuilding from

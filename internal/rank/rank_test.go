@@ -109,7 +109,7 @@ func TestImageRoundTripRestoresExactState(t *testing.T) {
 	r := New(0, kernelsim.Unpatched, virtid.ImplSharded, script)
 	r.DoCompute(script[0])
 	r.DoSbrk(script[1])
-	img := r.CaptureImage()
+	img := r.CaptureImage(false)
 
 	// Run past the checkpoint, then restore.
 	r.DoCompute(script[2])
@@ -155,7 +155,7 @@ func TestDrainedInboxSurvivesCheckpointAndFeedsRecv(t *testing.T) {
 	if receiver.InboxLen() != 1 {
 		t.Fatalf("inbox = %d messages, want 1", receiver.InboxLen())
 	}
-	img := receiver.CaptureImage()
+	img := receiver.CaptureImage(false)
 	if len(img.Inbox) != 1 {
 		t.Fatalf("image inbox = %d messages, want 1", len(img.Inbox))
 	}
@@ -182,7 +182,7 @@ func TestStatsRestoredFromImage(t *testing.T) {
 	}
 	r := New(0, kernelsim.Unpatched, virtid.ImplSharded, script)
 	r.DoSend(net, script[0])
-	img := r.CaptureImage()
+	img := r.CaptureImage(false)
 	r.DoSend(net, script[1])
 	if r.Stats().MsgsSent != 2 {
 		t.Fatalf("MsgsSent = %d, want 2", r.Stats().MsgsSent)
@@ -423,7 +423,7 @@ func TestVirtidRebuiltFromImageAndStaleHandlesDie(t *testing.T) {
 			}
 			r := New(0, kernelsim.Patched, impl, script)
 			r.Execute(net) // first isend: request live across the checkpoint
-			img := r.CaptureImage()
+			img := r.CaptureImage(false)
 			live := img.PendingReqs
 			if len(live) != 1 {
 				t.Fatalf("image pending requests = %d, want 1", len(live))
@@ -473,7 +473,7 @@ func TestVirtidRebuiltFromImageAndStaleHandlesDie(t *testing.T) {
 func TestImageVirtSnapshotMatchesTable(t *testing.T) {
 	for _, impl := range []virtid.Impl{virtid.ImplMutex, virtid.ImplSharded} {
 		r := New(0, kernelsim.Patched, impl, nil)
-		img := r.CaptureImage()
+		img := r.CaptureImage(false)
 		want := r.Virtid().Snapshot()
 		if img.Virt.Next != want.Next {
 			t.Errorf("%v: image Next = %v, want %v", impl, img.Virt.Next, want.Next)
