@@ -6,9 +6,10 @@ GO ?= go
 # to 1x so the benchmarks smoke-run on every push without burning minutes.
 BENCHTIME ?= 1s
 # BENCH_PATTERN/BENCH_PKGS select the benchmarks the BENCH_sched.json
-# artifact records: scheduler scaling, virtid contention and checkpoint
-# capture (full vs incremental image bytes).
-BENCH_PATTERN ?= BenchmarkScheduler|BenchmarkVirtid|BenchmarkCheckpointCapture|BenchmarkSnapshotUpperHalf
+# artifact records: scheduler scaling, virtid contention, checkpoint
+# capture (full vs incremental image bytes) and the collective drain
+# planner (overlapping vs serialised collectives).
+BENCH_PATTERN ?= BenchmarkScheduler|BenchmarkVirtid|BenchmarkCheckpointCapture|BenchmarkSnapshotUpperHalf|BenchmarkOverlapDrain
 BENCH_PKGS ?= ./internal/coordinator ./internal/virtid ./internal/rank ./internal/memsim
 # MAX_REGRESS is bench-check's tolerated ns/op regression vs the
 # committed artifact (0.30 = 30%); CI loosens it because -benchtime=1x
@@ -16,7 +17,7 @@ BENCH_PKGS ?= ./internal/coordinator ./internal/virtid ./internal/rank ./interna
 # gate there.
 MAX_REGRESS ?= 0.30
 
-.PHONY: all build test race lint fmt bench bench-sched bench-virtid bench-json bench-check run smoke
+.PHONY: all build test race lint fmt bench bench-sched bench-virtid bench-json bench-check run smoke smoke-matrix
 
 all: build lint test
 
@@ -76,12 +77,28 @@ bench-check:
 run:
 	$(GO) run ./cmd/manasim
 
-# smoke mirrors CI's determinism checks: a small failure/restart scenario
-# and a 1024-rank run, each executed twice and compared byte for byte.
+# smoke mirrors CI's basic determinism check: the default failure/restart
+# scenario executed twice and compared byte for byte.
 smoke:
 	$(GO) run ./cmd/manasim > /tmp/manasim-run1.txt
 	$(GO) run ./cmd/manasim > /tmp/manasim-run2.txt
 	cmp /tmp/manasim-run1.txt /tmp/manasim-run2.txt
-	$(GO) run ./cmd/manasim -ranks 1024 -steps 5 -ckpt-at 200us -no-fail > /tmp/manasim-big1.txt
-	$(GO) run ./cmd/manasim -ranks 1024 -steps 5 -ckpt-at 200us -no-fail > /tmp/manasim-big2.txt
-	cmp /tmp/manasim-big1.txt /tmp/manasim-big2.txt
+
+# smoke-matrix mirrors CI's determinism matrix: every combination of
+# handle-table implementation, image mode and workload shape runs twice
+# at 512 ranks and must print byte-identical reports.
+smoke-matrix:
+	$(GO) build -o /tmp/manasim-matrix ./cmd/manasim
+	@set -e; \
+	for virtid in mutex sharded; do \
+	  for inc in "" "-incremental"; do \
+	    for workload in default overlap; do \
+	      echo "smoke-matrix: -virtid $$virtid $$inc -workload $$workload"; \
+	      /tmp/manasim-matrix -virtid $$virtid $$inc -workload $$workload \
+	        -ranks 512 -steps 5 -ckpt-at 200us -no-fail > /tmp/manasim-matrix1.txt; \
+	      /tmp/manasim-matrix -virtid $$virtid $$inc -workload $$workload \
+	        -ranks 512 -steps 5 -ckpt-at 200us -no-fail > /tmp/manasim-matrix2.txt; \
+	      cmp /tmp/manasim-matrix1.txt /tmp/manasim-matrix2.txt; \
+	    done; \
+	  done; \
+	done

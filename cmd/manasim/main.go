@@ -10,10 +10,18 @@
 // consecutive invocations with the same flags print byte-identical
 // reports.
 //
+// With -workload overlap the job instead splits MPI_COMM_WORLD into two
+// staggered sub-communicator layouts and runs every step's collectives
+// on them, so collectives on overlapping communicators are concurrently
+// in flight; the second checkpoint is requested at the first moment at
+// least two collectives are forming, exercising the dependency-ordered
+// (topological-sort) drain planner.
+//
 // Usage:
 //
 //	go run ./cmd/manasim [-ranks 8] [-steps 30] [-seed 42] [-kernel unpatched|patched]
-//	                     [-virtid sharded|mutex] [-ckpt-at 5ms] [-fail-after 2] [-no-fail]
+//	                     [-virtid sharded|mutex] [-workload default|overlap] [-group 4]
+//	                     [-ckpt-at 5ms] [-fail-after 2] [-no-fail]
 //	                     [-incremental] [-full-every 4]
 package main
 
@@ -38,6 +46,8 @@ type scenario struct {
 	Seed        uint64
 	Kernel      string
 	Virtid      string
+	Workload    string
+	GroupSize   int
 	CkptAt      time.Duration
 	FailAfter   int
 	NoFail      bool
@@ -54,6 +64,8 @@ func defaultScenario() scenario {
 		Seed:      42,
 		Kernel:    "unpatched",
 		Virtid:    "sharded",
+		Workload:  "default",
+		GroupSize: 4,
 		CkptAt:    5 * time.Millisecond,
 		FailAfter: 2,
 		FullEvery: 4,
@@ -94,16 +106,38 @@ func buildConfig(s scenario) (coordinator.Config, error) {
 	cfg.Seed = s.Seed
 	cfg.Incremental = s.Incremental
 	cfg.FullImageEvery = s.FullEvery
-	cfg.Workload = rank.DefaultWorkload(s.Ranks, s.Steps, s.Seed)
-	cfg.Triggers = []coordinator.Trigger{
-		// First checkpoint: plain virtual-time trigger.
-		{At: vtime.Time(s.CkptAt)},
-		// Second checkpoint: deliberately requested while point-to-point
-		// messages are in flight, so the drain phase buffers real traffic.
-		{At: vtime.Time(s.CkptAt), InFlight: true},
-		// Third checkpoint: deliberately requested while a collective is
-		// partially arrived, so the protocol must defer it.
-		{At: vtime.Time(s.CkptAt), MidCollective: true},
+	switch s.Workload {
+	case "default":
+		cfg.Workload = rank.DefaultWorkload(s.Ranks, s.Steps, s.Seed)
+		cfg.Triggers = []coordinator.Trigger{
+			// First checkpoint: plain virtual-time trigger.
+			{At: vtime.Time(s.CkptAt)},
+			// Second checkpoint: deliberately requested while point-to-point
+			// messages are in flight, so the drain phase buffers real traffic.
+			{At: vtime.Time(s.CkptAt), InFlight: true},
+			// Third checkpoint: deliberately requested while a collective is
+			// partially arrived, so the protocol must defer it.
+			{At: vtime.Time(s.CkptAt), MidCollective: true},
+		}
+	case "overlap":
+		if s.GroupSize < 2 {
+			return cfg, fmt.Errorf("-group must be at least 2 (got %d)", s.GroupSize)
+		}
+		cfg.Workload = rank.OverlapWorkload(s.Ranks, s.Steps, s.Seed)
+		cfg.Workload.GroupSize = s.GroupSize
+		cfg.Triggers = []coordinator.Trigger{
+			// First checkpoint: plain virtual-time trigger.
+			{At: vtime.Time(s.CkptAt)},
+			// Second checkpoint: deliberately requested at the first moment
+			// at least two collectives are simultaneously in flight, so the
+			// topological-sort drain planner has a real graph to order.
+			{At: vtime.Time(s.CkptAt), FormingColls: 2},
+			// Third checkpoint: deliberately requested while a collective is
+			// partially arrived, so the protocol must defer it.
+			{At: vtime.Time(s.CkptAt), MidCollective: true},
+		}
+	default:
+		return cfg, fmt.Errorf("unknown -workload %q (want default or overlap)", s.Workload)
 	}
 	if !s.NoFail {
 		cfg.FailAtCheckpoint = s.FailAfter
@@ -144,6 +178,8 @@ func main() {
 	flag.Uint64Var(&s.Seed, "seed", def.Seed, "deterministic seed for workload jitter and ckpt stragglers")
 	flag.StringVar(&s.Kernel, "kernel", def.Kernel, "kernel personality: unpatched or patched")
 	flag.StringVar(&s.Virtid, "virtid", def.Virtid, "handle-virtualisation table: sharded (lock-free reads) or mutex (MANA baseline)")
+	flag.StringVar(&s.Workload, "workload", def.Workload, "workload shape: default (halo exchange, world collectives) or overlap (staggered sub-communicator collectives)")
+	flag.IntVar(&s.GroupSize, "group", def.GroupSize, "with -workload overlap, the sub-communicator group width")
 	flag.DurationVar(&s.CkptAt, "ckpt-at", def.CkptAt, "virtual time of the first checkpoint request")
 	flag.IntVar(&s.FailAfter, "fail-after", def.FailAfter, "inject a failure after this checkpoint commits (0 = never)")
 	flag.BoolVar(&s.NoFail, "no-fail", def.NoFail, "disable the failure/restart scenario")

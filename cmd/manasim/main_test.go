@@ -4,6 +4,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -78,6 +79,61 @@ func TestIncrementalScenarioReportGolden(t *testing.T) {
 	if got != string(want) {
 		t.Errorf("incremental-scenario report deviates from golden file.\n--- got\n%s\n--- want\n%s", got, want)
 	}
+}
+
+// TestOverlapScenarioReportGolden pins the -workload overlap scenario:
+// staggered sub-communicator collectives, a checkpoint requested while
+// at least two of them are in flight (so the topological-sort drain
+// planner orders a real dependency graph), failure and restart.
+// Regenerate deliberately with:
+//
+//	go test ./cmd/manasim -run TestOverlapScenarioReportGolden -update
+func TestOverlapScenarioReportGolden(t *testing.T) {
+	s := defaultScenario()
+	s.Workload = "overlap"
+	cfg, err := buildConfig(s)
+	if err != nil {
+		t.Fatalf("buildConfig: %v", err)
+	}
+	got, err := runScenario(cfg)
+	if err != nil {
+		t.Fatalf("runScenario: %v", err)
+	}
+	// The acceptance bar for the drain planner: at least one checkpoint
+	// drained >= 2 simultaneously in-flight collectives.
+	if !regexpMustFind(t, got, `coll-drain: planned=([2-9]|\d\d+) overlap-width=([2-9]|\d\d+)`) {
+		t.Errorf("no checkpoint drained >= 2 overlapping collectives:\n%s", got)
+	}
+	if !strings.Contains(got, "comm-splits executed=16") {
+		t.Errorf("overlap report missing comm-split accounting:\n%s", got)
+	}
+	golden := filepath.Join("testdata", "overlap_report.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("overlap-scenario report deviates from golden file.\n--- got\n%s\n--- want\n%s", got, want)
+	}
+}
+
+// regexpMustFind reports whether the pattern matches, failing the test
+// on a malformed pattern.
+func regexpMustFind(t *testing.T, s, pattern string) bool {
+	t.Helper()
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		t.Fatalf("bad pattern %q: %v", pattern, err)
+	}
+	return re.MatchString(s)
 }
 
 // TestScenarioByteIdenticalAcrossRuns is the CLI-level determinism
@@ -182,6 +238,8 @@ func TestBuildConfigValidation(t *testing.T) {
 		{"negative steps", func(s *scenario) { s.Steps = -1 }},
 		{"unknown kernel", func(s *scenario) { s.Kernel = "plan9" }},
 		{"unknown virtid", func(s *scenario) { s.Virtid = "bogolock" }},
+		{"unknown workload", func(s *scenario) { s.Workload = "spiral" }},
+		{"tiny overlap group", func(s *scenario) { s.Workload = "overlap"; s.GroupSize = 1 }},
 		{"negative full-every", func(s *scenario) { s.FullEvery = -1 }},
 	}
 	for _, tc := range cases {

@@ -72,6 +72,11 @@ type Trigger struct {
 	// flight — sent but not yet received — so the drain phase has real
 	// work to do.
 	InFlight bool
+	// FormingColls, when positive, instead requests the checkpoint at
+	// the first moment (not before At) at which at least this many
+	// collectives are simultaneously in flight, so the drain planner has
+	// a non-trivial dependency graph to sort.
+	FormingColls int
 }
 
 // Config parameterises one simulated job.
@@ -205,6 +210,16 @@ type CheckpointRecord struct {
 	// MaxWriteTime is the slowest rank's image write (straggler-scaled);
 	// for incremental checkpoints it is charged per dirty byte carried.
 	MaxWriteTime vtime.Duration
+	// DrainPlanned counts the in-flight collectives the dependency-
+	// ordered drain (arXiv:2408.02218) completed before this checkpoint
+	// could land, including collectives that entered the plan while the
+	// drain ran; OverlapWidth is how many were simultaneously in flight
+	// when the plan was built; DrainEvents counts the scheduler events
+	// dispatched while draining. All zero for a request serviced at an
+	// immediate safe point.
+	DrainPlanned int
+	OverlapWidth int
+	DrainEvents  uint64
 	// Fingerprint digests every rank's image for determinism checks.
 	Fingerprint uint64
 }
@@ -273,13 +288,40 @@ const (
 )
 
 // event is one entry on the virtual-time queue. Exactly one payload
-// field is meaningful per kind.
+// field group is meaningful per kind.
 type event struct {
 	kind       eventKind
 	rank       int             // evRankReady
 	msg        *netsim.Message // evDelivery
 	trigger    int             // evTrigger: index into cfg.Triggers
 	completion vtime.Time      // evCollectiveDone
+	comm       int             // evCollectiveDone: communicator the collective ran over
+	seq        uint64          // evCollectiveDone: forming-instance number (staleness guard)
+}
+
+// comm is one communicator the job knows: id 0 is MPI_COMM_WORLD,
+// higher ids are minted by comm-split completions in deterministic
+// (colour-sorted) order. Members are sorted rank ids.
+type comm struct {
+	members []int
+}
+
+// forming is the rendezvous of one in-flight collective: the ranks that
+// have arrived at the collective currently forming on one communicator,
+// in arrival order. planned and waiting are drain-mode state: whether
+// the collective is part of the current drain plan, and which live
+// members the plan still expects to arrive.
+type forming struct {
+	commID    int
+	seq       uint64 // global collective-instance number (deterministic)
+	kind      netsim.CollectiveKind
+	bytes     uint64
+	stamps    []vtime.Stamp
+	ranks     []int
+	colors    []int // per-arrival colours, comm-splits only
+	scheduled bool
+	planned   bool
+	waiting   map[int]bool
 }
 
 // Coordinator owns the ranks, the network and the checkpoint protocol.
@@ -299,13 +341,34 @@ type Coordinator struct {
 	armed   []int
 	pending []request
 
-	// Collective rendezvous state: stamps and IDs of ranks that have
-	// arrived at the currently forming collective, in arrival order.
-	collStamps    []vtime.Stamp
-	collRanks     []int
-	collKind      netsim.CollectiveKind
-	collBytes     uint64
-	collScheduled bool
+	// Communicator registry: comms[0] is MPI_COMM_WORLD; comm-split
+	// completions append sub-communicators in deterministic order. It is
+	// rebuilt from the restored rank images on restart.
+	comms []comm
+
+	// Collective rendezvous state: one forming instance per communicator
+	// with arrivals outstanding. colls indexes by communicator id;
+	// collList keeps instance order (by seq) so every iteration over the
+	// in-flight set — scheduling re-checks, drain-graph construction,
+	// deadlock diagnostics — is deterministic. collSeq numbers instances;
+	// formingPool recycles completed rendezvous so the steady-state event
+	// loop does not allocate per collective. inCollComm[r] is the
+	// communicator rank r is currently waiting in (-1 when it is not
+	// inside a collective) — the shared-rank information the drain
+	// planner's edges are built from.
+	colls       map[int]*forming
+	collList    []*forming
+	collSeq     uint64
+	formingPool []*forming
+	inCollComm  []int
+
+	// Drain-mode state (see drainplan.go): while draining, ranks the
+	// plan does not need are held at their next collective boundary and
+	// consume no scheduler work until the checkpoint commits.
+	draining         bool
+	plan             *drainPlan
+	held             map[int]bool
+	drainStartEvents uint64
 
 	// doneCount and maxClock are maintained incrementally so the hot
 	// loop never scans all ranks.
@@ -333,19 +396,25 @@ func New(cfg Config) *Coordinator {
 		panic("coordinator: config needs at least one rank")
 	}
 	cfg.Workload.Ranks = cfg.Ranks
+	world := make([]int, cfg.Ranks)
+	for i := range world {
+		world[i] = i
+	}
 	c := &Coordinator{
-		cfg:      cfg,
-		net:      netsim.New(cfg.Net),
-		rng:      vtime.NewRNG(cfg.Seed),
-		queue:    vtime.NewEventQueue[event](),
-		triggers: append([]Trigger(nil), cfg.Triggers...),
-		fired:    make([]bool, len(cfg.Triggers)),
-		// Collective rendezvous scratch is preallocated at full fan-in and
-		// reused across collectives, so the steady-state event loop never
-		// grows it.
+		cfg:        cfg,
+		net:        netsim.New(cfg.Net),
+		rng:        vtime.NewRNG(cfg.Seed),
+		queue:      vtime.NewEventQueue[event](),
+		triggers:   append([]Trigger(nil), cfg.Triggers...),
+		fired:      make([]bool, len(cfg.Triggers)),
 		ranks:      make([]*rank.Rank, 0, cfg.Ranks),
-		collStamps: make([]vtime.Stamp, 0, cfg.Ranks),
-		collRanks:  make([]int, 0, cfg.Ranks),
+		comms:      []comm{{members: world}},
+		colls:      make(map[int]*forming),
+		inCollComm: make([]int, cfg.Ranks),
+		held:       make(map[int]bool),
+	}
+	for i := range c.inCollComm {
+		c.inCollComm[i] = -1
 	}
 	c.net.SetDeliveryScheduler(c)
 	for i, t := range c.triggers {
@@ -427,15 +496,39 @@ func (c *Coordinator) MaxClock() vtime.Time {
 
 func (c *Coordinator) nonDone() int { return c.cfg.Ranks - c.doneCount }
 
-func (c *Coordinator) inCollective() int { return len(c.collRanks) }
+// inCollective counts the ranks currently waiting inside any forming
+// collective.
+func (c *Coordinator) inCollective() int {
+	n := 0
+	for _, f := range c.collList {
+		n += len(f.ranks)
+	}
+	return n
+}
 
-// collectiveInProgress reports whether any rank is inside a collective.
-func (c *Coordinator) collectiveInProgress() bool { return len(c.collRanks) > 0 }
+// collectiveInProgress reports whether any collective is in flight.
+func (c *Coordinator) collectiveInProgress() bool { return len(c.collList) > 0 }
 
-// atSafePoint reports whether a checkpoint may proceed: no rank is inside
-// a collective (paper §3.2 — a checkpoint either completes the collective
-// first or sits out until it has).
+// atSafePoint reports whether a checkpoint may proceed: no collective is
+// in flight on any communicator (paper §3.2 — a checkpoint either
+// completes the in-flight collectives first, in dependency order, or
+// sits out until they have).
 func (c *Coordinator) atSafePoint() bool { return !c.collectiveInProgress() }
+
+// liveMembers counts a communicator's members whose scripts are not
+// exhausted — the participation bar a forming collective must reach.
+func (c *Coordinator) liveMembers(commID int) int {
+	if commID == 0 {
+		return c.nonDone()
+	}
+	n := 0
+	for _, id := range c.comms[commID].members {
+		if c.ranks[id].State() != rank.Done {
+			n++
+		}
+	}
+	return n
+}
 
 func (c *Coordinator) allDone() bool { return c.doneCount == c.cfg.Ranks }
 
@@ -453,7 +546,7 @@ func (c *Coordinator) armTrigger(i int) {
 		return
 	}
 	t := c.triggers[i]
-	if !t.MidCollective && !t.InFlight {
+	if !t.MidCollective && !t.InFlight && t.FormingColls == 0 {
 		c.fireTrigger(i)
 		return
 	}
@@ -478,6 +571,8 @@ func (c *Coordinator) checkArmedTriggers() {
 			due = in > 0 && in < c.nonDone()
 		case t.InFlight:
 			due = c.net.InFlight() > 0
+		case t.FormingColls > 0:
+			due = len(c.collList) >= t.FormingColls
 		}
 		if due {
 			c.fireTrigger(i)
@@ -488,69 +583,191 @@ func (c *Coordinator) checkArmedTriggers() {
 	c.armed = kept
 }
 
-// maybeScheduleCollectiveDone schedules the collective-completion event
-// once every non-done rank has arrived: completion time is the latest
-// arrival stamp plus the modelled collective cost.
-func (c *Coordinator) maybeScheduleCollectiveDone() {
-	n := len(c.collStamps)
-	if c.collScheduled || n == 0 || n < c.nonDone() {
+// newForming starts the rendezvous of a collective on one communicator,
+// recycling a completed instance's storage when one is available.
+func (c *Coordinator) newForming(commID int, kind netsim.CollectiveKind, bytes uint64) *forming {
+	var f *forming
+	if n := len(c.formingPool); n > 0 {
+		f = c.formingPool[n-1]
+		c.formingPool = c.formingPool[:n-1]
+	} else {
+		f = &forming{}
+	}
+	f.commID = commID
+	f.seq = c.collSeq
+	c.collSeq++
+	f.kind = kind
+	f.bytes = bytes
+	c.colls[commID] = f
+	c.collList = append(c.collList, f)
+	return f
+}
+
+// removeForming retires a completed rendezvous and recycles its storage.
+func (c *Coordinator) removeForming(f *forming) {
+	delete(c.colls, f.commID)
+	for i, g := range c.collList {
+		if g == f {
+			c.collList = append(c.collList[:i], c.collList[i+1:]...)
+			break
+		}
+	}
+	f.stamps = f.stamps[:0]
+	f.ranks = f.ranks[:0]
+	f.colors = f.colors[:0]
+	f.scheduled = false
+	f.planned = false
+	f.waiting = nil
+	c.formingPool = append(c.formingPool, f)
+}
+
+// maybeScheduleCollectiveDone schedules one collective's completion
+// event once every live member of its communicator has arrived:
+// completion time is the latest arrival stamp plus the modelled
+// collective cost.
+func (c *Coordinator) maybeScheduleCollectiveDone(f *forming) {
+	n := len(f.ranks)
+	if f.scheduled || n == 0 || n < c.liveMembers(f.commID) {
 		return
 	}
-	latest := vtime.MaxStamp(c.collStamps)
-	completion := latest.When.Add(c.cfg.Net.CollectiveCost(c.collKind, n, c.collBytes))
-	c.collScheduled = true
-	c.queue.Push(completion, event{kind: evCollectiveDone, completion: completion})
+	latest := vtime.MaxStamp(f.stamps)
+	completion := latest.When.Add(c.cfg.Net.CollectiveCost(f.kind, n, f.bytes))
+	f.scheduled = true
+	c.queue.Push(completion, event{kind: evCollectiveDone, comm: f.commID, seq: f.seq, completion: completion})
 }
 
-// joinCollective records one rank's arrival at the forming collective.
+// collectiveKindOf maps a collective op onto the network cost model.
+func collectiveKindOf(k rank.OpKind) netsim.CollectiveKind {
+	switch k {
+	case rank.OpBarrier:
+		return netsim.Barrier
+	case rank.OpAllreduce:
+		return netsim.Allreduce
+	case rank.OpCommSplit:
+		return netsim.CommSplit
+	default:
+		panic(fmt.Sprintf("coordinator: op %v is not a collective", k))
+	}
+}
+
+// joinCollective records one rank's arrival at the collective forming on
+// its target communicator, starting the rendezvous if this is the first
+// arrival. While a drain is in progress, a newly started collective
+// joins the plan (only ranks the plan needs reach this point — everyone
+// else is held at the boundary), and a planned collective's waiting set
+// shrinks with each arrival.
 func (c *Coordinator) joinCollective(r *rank.Rank, tr rank.Transition) {
-	kind := netsim.Barrier
-	if tr.Op.Kind == rank.OpAllreduce {
-		kind = netsim.Allreduce
+	commID := r.CommID(tr.Op.Comm)
+	kind := collectiveKindOf(tr.Op.Kind)
+	f := c.colls[commID]
+	if f == nil {
+		f = c.newForming(commID, kind, tr.Op.Bytes)
+	} else {
+		if f.scheduled {
+			panic(fmt.Sprintf("coordinator: rank %d arrived at comm %d %v after its completion was scheduled",
+				r.ID(), commID, kind))
+		}
+		if f.kind != kind {
+			panic(fmt.Sprintf("coordinator: rank %d arrived at %v while %v is forming on comm %d (non-SPMD script)",
+				r.ID(), kind, f.kind, commID))
+		}
 	}
-	if len(c.collStamps) > 0 && kind != c.collKind {
-		panic(fmt.Sprintf("coordinator: rank %d arrived at %v while %v is forming (non-SPMD script)",
-			r.ID(), kind, c.collKind))
+	f.stamps = append(f.stamps, tr.Stamp)
+	f.ranks = append(f.ranks, r.ID())
+	if kind == netsim.CommSplit {
+		f.colors = append(f.colors, tr.Op.Color)
 	}
-	c.collKind = kind
-	c.collBytes = tr.Op.Bytes
-	c.collStamps = append(c.collStamps, tr.Stamp)
-	c.collRanks = append(c.collRanks, r.ID())
-	c.maybeScheduleCollectiveDone()
+	c.inCollComm[r.ID()] = commID
+	if c.draining {
+		if !f.planned {
+			c.extendPlan(f)
+		} else if f.waiting[r.ID()] {
+			delete(f.waiting, r.ID())
+			c.plan.needed[r.ID()]--
+		}
+	}
+	c.maybeScheduleCollectiveDone(f)
 }
 
-// completeCollective finishes the collective for every participant:
-// each advances to the completion time and its next ready event is
-// scheduled.
-func (c *Coordinator) completeCollective(completion vtime.Time) {
-	for _, id := range c.collRanks {
-		r := c.ranks[id]
-		c.rankVisits++
-		r.FinishCollective(completion)
-		if r.State() == rank.Done {
-			c.doneCount++
-		} else {
-			c.scheduleReady(r)
+// completeCollective finishes one communicator's collective for every
+// participant: each advances to the completion time and its next ready
+// event is scheduled. A comm-split additionally mints the new
+// sub-communicators: arrivals are grouped by colour (colours ascending,
+// members sorted), each group is assigned the next global communicator
+// id, and every member registers the new handle in its virtualisation
+// table — all deterministic, so restart replay re-mints identical ids.
+func (c *Coordinator) completeCollective(commID int, seq uint64, completion vtime.Time) {
+	f := c.colls[commID]
+	if f == nil || f.seq != seq {
+		return // stale event from an abandoned timeline
+	}
+	if f.kind == netsim.CommSplit {
+		byColor := make(map[int][]int, 4)
+		colors := make([]int, 0, 4)
+		for i, id := range f.ranks {
+			color := f.colors[i]
+			if _, ok := byColor[color]; !ok {
+				colors = append(colors, color)
+			}
+			byColor[color] = append(byColor[color], id)
+		}
+		sort.Ints(colors)
+		for _, color := range colors {
+			members := byColor[color]
+			sort.Ints(members)
+			id := len(c.comms)
+			c.comms = append(c.comms, comm{members: members})
+			for _, m := range members {
+				c.rankVisits++
+				r := c.ranks[m]
+				c.inCollComm[m] = -1
+				r.FinishCommSplit(completion, id, rank.RealCommBase+virtid.Real(id))
+				c.afterCollectiveExit(r)
+			}
+		}
+	} else {
+		for _, id := range f.ranks {
+			c.rankVisits++
+			r := c.ranks[id]
+			c.inCollComm[id] = -1
+			r.FinishCollective(completion)
+			c.afterCollectiveExit(r)
 		}
 	}
 	c.noteClock(completion)
-	// Reset the rendezvous scratch in place: the backing arrays were
-	// preallocated at full fan-in in New and are reused for the next
-	// collective instead of being reallocated per completion.
-	c.collStamps = c.collStamps[:0]
-	c.collRanks = c.collRanks[:0]
-	c.collScheduled = false
+	c.removeForming(f)
+}
+
+// afterCollectiveExit updates bookkeeping for one rank leaving a
+// collective: done accounting (which may lower other forming
+// collectives' participation bars) or the next ready event.
+func (c *Coordinator) afterCollectiveExit(r *rank.Rank) {
+	if r.State() == rank.Done {
+		c.noteDone()
+	} else {
+		c.scheduleReady(r)
+	}
+}
+
+// noteDone records a rank's script ending and re-checks every forming
+// collective: a finished rank lowers its communicators' participation
+// bars, possibly making their completions schedulable. collList order
+// keeps the re-check — and thus queue push order — deterministic.
+func (c *Coordinator) noteDone() {
+	c.doneCount++
+	for _, f := range c.collList {
+		c.maybeScheduleCollectiveDone(f)
+	}
 }
 
 // afterRankProgress updates bookkeeping after a rank moved: the
 // high-water clock, the done count, and — because a rank finishing its
-// script lowers the collective participation bar — a possible collective
-// completion.
+// script lowers collective participation bars — possible collective
+// completions.
 func (c *Coordinator) afterRankProgress(r *rank.Rank) {
 	c.noteClock(r.Clock().Now())
 	if r.State() == rank.Done {
-		c.doneCount++
-		c.maybeScheduleCollectiveDone()
+		c.noteDone()
 	} else {
 		c.scheduleReady(r)
 	}
@@ -565,13 +782,27 @@ func (c *Coordinator) dispatch(ev event) (failed bool) {
 		if r.State() != rank.Running {
 			return false // stale: the timeline this event belonged to is gone
 		}
+		if c.draining && c.shouldHold(r) {
+			// The rank reached its safe point for the in-progress drain:
+			// it is held (no ready event) until the checkpoint commits or
+			// the plan turns out to need it.
+			c.held[r.ID()] = true
+			return false
+		}
 		c.rankVisits++
 		tr := r.Execute(c.net)
 		switch tr.Kind {
 		case rank.Advanced:
 			c.afterRankProgress(r)
 		case rank.BlockedOnRecv:
-			// Zero scheduler work until a delivery event wakes it.
+			// Zero scheduler work until a delivery event wakes it — but a
+			// rank the drain plan needs must not starve behind a held
+			// sender, so its blocked peer becomes needed (and released).
+			if c.draining && c.plan.needed[r.ID()] > 0 {
+				if peer, ok := r.BlockedOn(); ok && c.plan.needed[peer] == 0 {
+					c.markNeeded(peer)
+				}
+			}
 		case rank.JoinedCollective:
 			c.noteClock(r.Clock().Now())
 			c.joinCollective(r, tr)
@@ -589,7 +820,7 @@ func (c *Coordinator) dispatch(ev event) (failed bool) {
 		// consume it from the network (or its drained inbox) when its own
 		// ready event reaches the receive, so the event is a no-op.
 	case evCollectiveDone:
-		c.completeCollective(ev.completion)
+		c.completeCollective(ev.comm, ev.seq, ev.completion)
 	case evTrigger:
 		c.armTrigger(ev.trigger)
 	case evFail:
@@ -607,6 +838,14 @@ func (c *Coordinator) Run() (Outcome, error) {
 				return Failed, err
 			}
 		}
+		if len(c.pending) > 0 && !c.draining {
+			// Checkpoint intent with collectives in flight: build the
+			// dependency-ordered drain plan (a cycle here is the
+			// application's own deadlock, diagnosed rather than hung).
+			if err := c.beginDrain(); err != nil {
+				return Failed, err
+			}
+		}
 		if c.allDone() {
 			if got := c.net.InFlight(); got != 0 {
 				return Failed, fmt.Errorf("coordinator: job done with %d unreceived messages", got)
@@ -615,6 +854,15 @@ func (c *Coordinator) Run() (Outcome, error) {
 		}
 		ev, ok := c.pop()
 		if !ok {
+			// Before reporting the generic stall, check whether the
+			// in-flight collectives explain it: a dependency cycle between
+			// them is the classic mis-ordered-collectives deadlock, and the
+			// diagnostic can name the ranks involved.
+			if c.collectiveInProgress() {
+				if _, err := topoOrder(c.buildDrainGraph()); err != nil {
+					return Failed, fmt.Errorf("coordinator: deadlock after %d events: %w", c.events, err)
+				}
+			}
 			return Failed, fmt.Errorf(
 				"coordinator: deadlock after %d events — %d ranks not done, %d in collective, %d messages in flight, no event can wake them",
 				c.events, c.nonDone(), c.inCollective(), c.net.InFlight())
@@ -748,6 +996,9 @@ func (c *Coordinator) digestImage(h io.Writer, img rank.Image) {
 	for _, req := range img.PendingReqs {
 		fmt.Fprintf(h, "pr(%d);", req)
 	}
+	for i := range img.Comms {
+		fmt.Fprintf(h, "cm(%d,%d,%d);", i, img.Comms[i], img.CommIDs[i])
+	}
 }
 
 // commitStage installs the captured generation as the newest committed
@@ -782,6 +1033,15 @@ func (c *Coordinator) checkpoint() error {
 		Seq:           len(c.records) + 1,
 		RequestedAt:   req.at,
 		MidCollective: req.midCollective,
+	}
+	if c.draining {
+		// The dependency-ordered collective drain just completed: record
+		// its shape and release the ranks held at their safe points once
+		// the images are committed.
+		rec.DrainPlanned = c.plan.planned
+		rec.OverlapWidth = c.plan.width
+		rec.DrainEvents = c.events - c.drainStartEvents
+		defer c.endDrain()
 	}
 
 	// Phase 1: deliver the intent signal, then drain the network.
@@ -844,9 +1104,19 @@ func (c *Coordinator) Restart() error {
 		r.ChargeCkptOverhead(r.Kernel().RestartReinitCost() + readTime)
 	}
 	c.net.Restore(c.last.counters)
-	c.collStamps = c.collStamps[:0]
-	c.collRanks = c.collRanks[:0]
-	c.collScheduled = false
+	// In-flight collectives and any drain in progress belonged to the
+	// abandoned timeline: clear the rendezvous state and rebuild the
+	// communicator registry from the restored images (sub-communicators
+	// minted after the checkpoint die with the timeline; replayed splits
+	// will re-mint them with identical ids).
+	for len(c.collList) > 0 {
+		c.removeForming(c.collList[0])
+	}
+	for i := range c.inCollComm {
+		c.inCollComm[i] = -1
+	}
+	c.abandonDrain()
+	c.rebuildComms()
 	// Checkpoint requests fired in the abandoned timeline die with it: a
 	// request references scheduler state (clocks, collective progress)
 	// that no longer exists after the rollback. The triggers themselves
@@ -871,6 +1141,31 @@ func (c *Coordinator) Restart() error {
 	c.maxClock = c.MaxClock()
 	c.restarts = append(c.restarts, RestartRecord{FromSeq: c.last.seq, ResumeClock: c.maxClock})
 	return nil
+}
+
+// rebuildComms reconstructs the communicator registry from the restored
+// ranks' slot tables. Iterating ranks in id order keeps every member
+// list sorted, matching how comm-split completions build them, and the
+// next split after restart mints max-id+1 — exactly what the replayed
+// timeline's split would have minted.
+func (c *Coordinator) rebuildComms() {
+	maxID := 0
+	for _, r := range c.ranks {
+		for slot := 1; slot < r.CommCount(); slot++ {
+			if id := r.CommID(slot); id > maxID {
+				maxID = id
+			}
+		}
+	}
+	comms := make([]comm, maxID+1)
+	comms[0] = c.comms[0] // world membership never changes
+	for _, r := range c.ranks {
+		for slot := 1; slot < r.CommCount(); slot++ {
+			id := r.CommID(slot)
+			comms[id].members = append(comms[id].members, r.ID())
+		}
+	}
+	c.comms = comms
 }
 
 // ioTime converts an image payload and a filesystem bandwidth into a
@@ -902,6 +1197,12 @@ func (c *Coordinator) Report() string {
 		c.cfg.Ranks, c.cfg.Personality, c.cfg.Virtid, c.cfg.Seed)
 	fmt.Fprintf(&b, "job: makespan=%v, events=%d, rank-visits=%d, messages sent=%d\n",
 		c.MaxClock(), c.events, c.rankVisits, c.net.TotalSent())
+	var splits uint64
+	for _, r := range c.ranks {
+		splits += r.Stats().CommSplits
+	}
+	fmt.Fprintf(&b, "comms: %d (1 world + %d split), comm-splits executed=%d\n",
+		len(c.comms), len(c.comms)-1, splits)
 
 	fmt.Fprintf(&b, "\nranks:\n")
 	fmt.Fprintf(&b, "  %4s %16s %10s %6s %6s %6s %14s %14s\n",
@@ -923,6 +1224,8 @@ func (c *Coordinator) Report() string {
 			rec.MaxWriteTime, rec.Fingerprint)
 		fmt.Fprintf(&b, "     full %d bytes, dirty %d bytes, dedup %.3f\n",
 			rec.FullBytes, rec.DirtyBytes, rec.DedupRatio())
+		fmt.Fprintf(&b, "     coll-drain: planned=%d overlap-width=%d drain-events=%d\n",
+			rec.DrainPlanned, rec.OverlapWidth, rec.DrainEvents)
 	}
 
 	if len(c.restarts) > 0 {

@@ -158,6 +158,72 @@ func benchScheduler(b *testing.B, ranks int, maxAllocsPerEvent float64) {
 
 func BenchmarkScheduler64Ranks(b *testing.B) { benchScheduler(b, 64, 0) }
 
+// benchOverlapDrain measures a checkpointed run whose collectives either
+// overlap (staggered sub-communicator layouts, checkpoint requested with
+// at least two collectives in flight — the drain planner must
+// topologically sort a real dependency graph) or serialise (the
+// bit-identical step structure with every collective retargeted to the
+// world communicator, so at most one can ever be in flight). The pair
+// tracks the drain planner's cost from day one: same op counts, same
+// compute jitter, different overlap width.
+func benchOverlapDrain(b *testing.B, overlap bool) {
+	b.ReportAllocs()
+	const ranks, steps = 64, 6
+	wl := rank.OverlapWorkload(ranks, steps, 11)
+	wl.GroupSize = 8
+	mkConfig := func() Config {
+		cfg := DefaultConfig()
+		cfg.Ranks = ranks
+		cfg.StragglerP = 0
+		cfg.Seed = 11
+		cfg.Workload = wl
+		if overlap {
+			cfg.Triggers = []Trigger{{At: vtime.Time(300 * vtime.Microsecond), FormingColls: 2}}
+			return cfg
+		}
+		cfg.ScriptFor = func(id int) []rank.Op {
+			ops := rank.GenerateScript(id, wl)
+			serial := make([]rank.Op, 0, len(ops)-2)
+			for _, op := range ops[2:] { // drop the comm-splits
+				op.Comm = 0 // every collective runs over the world communicator
+				serial = append(serial, op)
+			}
+			return serial
+		}
+		cfg.Triggers = []Trigger{{At: vtime.Time(300 * vtime.Microsecond), MidCollective: true}}
+		return cfg
+	}
+	var rec CheckpointRecord
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := New(mkConfig())
+		runtime.GC()
+		b.StartTimer()
+		outcome, err := c.Run()
+		if err != nil || outcome != Completed {
+			b.Fatalf("Run = %v, %v", outcome, err)
+		}
+		if len(c.Records()) != 1 {
+			b.Fatalf("checkpoints = %d, want 1", len(c.Records()))
+		}
+		rec = c.Records()[0]
+	}
+	if overlap && rec.OverlapWidth < 2 {
+		b.Fatalf("OverlapWidth = %d, want >= 2 — the overlap variant stopped overlapping", rec.OverlapWidth)
+	}
+	if !overlap && rec.OverlapWidth > 1 {
+		b.Fatalf("OverlapWidth = %d, want <= 1 — the serial variant stopped serialising", rec.OverlapWidth)
+	}
+	b.ReportMetric(float64(rec.DrainPlanned), "drain-planned")
+	b.ReportMetric(float64(rec.OverlapWidth), "overlap-width")
+	b.ReportMetric(float64(rec.DrainEvents), "drain-events")
+}
+
+func BenchmarkOverlapDrain(b *testing.B) {
+	b.Run("overlap", func(b *testing.B) { benchOverlapDrain(b, true) })
+	b.Run("serial", func(b *testing.B) { benchOverlapDrain(b, false) })
+}
+
 // BenchmarkScheduler512Ranks carries the allocs/op assertion: roughly
 // half the events are sends (one netsim.Message allocation each), so a
 // healthy steady state sits near 0.5 allocations per event; 1.0 leaves

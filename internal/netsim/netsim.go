@@ -59,6 +59,10 @@ type CollectiveKind int
 const (
 	Barrier CollectiveKind = iota
 	Allreduce
+	// CommSplit is MPI_Comm_split: collective over the parent
+	// communicator, exchanging each participant's colour so every member
+	// learns its sub-communicator's composition.
+	CommSplit
 )
 
 // String returns the MPI-style name of the collective.
@@ -68,21 +72,31 @@ func (k CollectiveKind) String() string {
 		return "barrier"
 	case Allreduce:
 		return "allreduce"
+	case CommSplit:
+		return "comm-split"
 	default:
 		return "unknown"
 	}
 }
 
+// commSplitColorBytes is the per-rank payload a comm-split exchanges: the
+// (colour, key) pair every participant contributes to the allgather that
+// establishes sub-communicator membership.
+const commSplitColorBytes = 16
+
 // CollectiveCost returns the modelled completion cost of a collective over
 // nRanks ranks carrying bytes of payload per rank, measured from the
-// moment the last participant arrives. Both collectives use a
+// moment the last participant arrives. All collectives use a
 // logarithmic-depth tree; allreduce additionally pays reduce+broadcast
-// serialisation.
+// serialisation, and comm-split the (small) colour allgather.
 func (p Params) CollectiveCost(kind CollectiveKind, nRanks int, bytes uint64) vtime.Duration {
 	depth := log2ceil(nRanks)
 	cost := vtime.Duration(depth) * p.Latency
-	if kind == Allreduce {
+	switch kind {
+	case Allreduce:
 		cost += 2 * vtime.Duration(depth) * p.SerializeCost(bytes)
+	case CommSplit:
+		cost += vtime.Duration(depth) * p.SerializeCost(commSplitColorBytes*uint64(nRanks))
 	}
 	return cost
 }

@@ -161,6 +161,16 @@ func TestCollectiveCost(t *testing.T) {
 	if got, want := p.CollectiveCost(Barrier, 9, 0), 4*p.Latency; got != want {
 		t.Errorf("9-rank barrier = %v, want %v", got, want)
 	}
+	// A comm-split pays the barrier tree plus the colour allgather; the
+	// payload argument is ignored (the exchange is the fixed colour/key
+	// pair per rank).
+	s8 := p.CollectiveCost(CommSplit, 8, 0)
+	if s8 <= b8 {
+		t.Errorf("comm-split (%v) should cost more than barrier (%v)", s8, b8)
+	}
+	if got := p.CollectiveCost(CommSplit, 8, 1<<20); got != s8 {
+		t.Errorf("comm-split cost varies with payload: %v vs %v", got, s8)
+	}
 }
 
 func TestSerializeCostZeroBandwidth(t *testing.T) {

@@ -54,6 +54,12 @@ const (
 	OpBarrier
 	OpAllreduce
 	OpSbrk
+	// OpCommSplit is MPI_Comm_split over the parent communicator slot
+	// Comm, contributing Color: a collective that, on completion, mints a
+	// new sub-communicator handle (registered in the virtualisation
+	// table) in the next free communicator slot of every participant that
+	// supplied the same colour.
+	OpCommSplit
 )
 
 // String returns a short name for the op kind.
@@ -75,6 +81,8 @@ func (k OpKind) String() string {
 		return "allreduce"
 	case OpSbrk:
 		return "sbrk"
+	case OpCommSplit:
+		return "comm-split"
 	default:
 		return "unknown"
 	}
@@ -82,13 +90,18 @@ func (k OpKind) String() string {
 
 // Op is one scripted operation. Which fields are meaningful depends on
 // Kind: Dur for compute, Peer+Bytes+Tag for send/recv, Bytes for
-// allreduce payload and sbrk growth.
+// allreduce payload and sbrk growth. Comm selects the communicator slot
+// the operation runs over (0 is MPI_COMM_WORLD; slots above 0 are
+// sub-communicators in the order the rank's comm-splits created them),
+// and Color is the rank's colour contribution to an OpCommSplit.
 type Op struct {
 	Kind  OpKind
 	Dur   vtime.Duration
 	Peer  int
 	Bytes uint64
 	Tag   int
+	Comm  int
+	Color int
 }
 
 // State is the rank's scheduler-visible execution state.
@@ -136,6 +149,7 @@ type Stats struct {
 	BytesSent    uint64
 	BytesRecvd   uint64
 	Collectives  uint64
+	CommSplits   uint64
 	ComputeTime  vtime.Duration
 	ManaOverhead vtime.Duration // per-call MANA cost charged to the clock
 
@@ -185,7 +199,13 @@ type Image struct {
 	// operations and not yet retired by a wait — live handles that must
 	// keep resolving after restart.
 	PendingReqs []virtid.VID
-	Stats       Stats
+	// Comms and CommIDs carry the rank's communicator slot table: slot i
+	// holds virtual handle Comms[i] for the communicator the coordinator
+	// knows globally as CommIDs[i] (slot 0 is MPI_COMM_WORLD, id 0). The
+	// coordinator rebuilds its membership registry from these on restart.
+	Comms   []virtid.VID
+	CommIDs []int
+	Stats   Stats
 }
 
 // Bytes returns the payload the image writes to the parallel filesystem:
@@ -231,12 +251,17 @@ type Rank struct {
 
 	// vt is the handle-virtualisation table (paper §3.3); vimpl records
 	// which implementation the job selected so restart can rebuild the
-	// same one. comm and dtype are the virtual handles registered at init
-	// that every MPI call translates.
-	vt    virtid.Table
-	vimpl virtid.Impl
-	comm  virtid.VID
-	dtype virtid.VID
+	// same one. comms holds the virtual communicator handle per slot
+	// (slot 0 = MPI_COMM_WORLD, later slots minted by comm-splits in
+	// execution order) with commIDs carrying the coordinator's global
+	// communicator id for each slot; dtype is the datatype handle
+	// registered at init. Every MPI call translates its handles through
+	// the table.
+	vt      virtid.Table
+	vimpl   virtid.Impl
+	comms   []virtid.VID
+	commIDs []int
+	dtype   virtid.VID
 	// reqSeq numbers posted requests; it mirrors the table's request
 	// allocation counter and is restored from the image's virtid snapshot
 	// so replayed posts mint identical real handles. pending is the FIFO
@@ -282,6 +307,10 @@ const (
 	// realRequestBase offsets a request's virtual id into its simulated
 	// real handle, keeping replayed registrations bit-identical.
 	realRequestBase virtid.Real = 0x98000000
+	// RealCommBase offsets a split communicator's global id into its
+	// simulated real handle. The coordinator passes RealCommBase+id to
+	// FinishCommSplit so replayed splits re-mint bit-identical mappings.
+	RealCommBase virtid.Real = 0x44000100
 )
 
 // New returns a rank with an initialised split-process address space,
@@ -301,7 +330,8 @@ func New(id int, personality kernelsim.Personality, impl virtid.Impl, script []O
 		vt:     virtid.New(impl),
 		vimpl:  impl,
 	}
-	r.comm = r.vt.Register(virtid.Comm, realCommWorld)
+	r.comms = []virtid.VID{r.vt.Register(virtid.Comm, realCommWorld)}
+	r.commIDs = []int{0}
 	r.dtype = r.vt.Register(virtid.Datatype, realDatatypeByte)
 	r.initUpperHalf()
 	r.InitLowerHalf()
@@ -349,6 +379,30 @@ func (r *Rank) Virtid() virtid.Table { return r.vt }
 
 // VirtidImpl returns the table implementation the rank was built with.
 func (r *Rank) VirtidImpl() virtid.Impl { return r.vimpl }
+
+// CommCount returns the number of communicator slots the rank holds
+// (1 for a rank that has performed no comm-splits: MPI_COMM_WORLD).
+func (r *Rank) CommCount() int { return len(r.comms) }
+
+// CommID returns the coordinator's global communicator id for one of the
+// rank's communicator slots. The coordinator uses it to resolve which
+// rendezvous a collective arrival belongs to.
+func (r *Rank) CommID(slot int) int {
+	if slot < 0 || slot >= len(r.commIDs) {
+		panic(fmt.Sprintf("rank %d: communicator slot %d out of range (have %d)", r.id, slot, len(r.commIDs)))
+	}
+	return r.commIDs[slot]
+}
+
+// commHandle returns the virtual handle for a communicator slot. A slot
+// the rank never minted is a virtualisation bug in the script, exactly
+// like a stale handle, and is fatal.
+func (r *Rank) commHandle(slot int) virtid.VID {
+	if slot < 0 || slot >= len(r.comms) {
+		panic(fmt.Sprintf("rank %d: communicator slot %d out of range (have %d)", r.id, slot, len(r.comms)))
+	}
+	return r.comms[slot]
+}
 
 // State returns the scheduler-visible execution state.
 func (r *Rank) State() State {
@@ -486,7 +540,7 @@ func (r *Rank) DoCompute(op Op) {
 // counters), inject the message with a piggybacked timestamp, and occupy
 // the sender for the serialisation time.
 func (r *Rank) DoSend(net *netsim.Network, op Op) *netsim.Message {
-	r.translate(virtid.Comm, r.comm)
+	r.translate(virtid.Comm, r.commHandle(op.Comm))
 	r.translate(virtid.Datatype, r.dtype)
 	r.chargeMPICall(virtid.LookupCounts{Comm: 1, Datatype: 1}, 0, true)
 	stamp := vtime.StampFrom(r.id, r.clock)
@@ -504,7 +558,7 @@ func (r *Rank) DoSend(net *netsim.Network, op Op) *netsim.Message {
 // wait retires it. The message itself is on the wire immediately; only
 // its completion handle is outstanding.
 func (r *Rank) DoIsend(net *netsim.Network, op Op) *netsim.Message {
-	r.translate(virtid.Comm, r.comm)
+	r.translate(virtid.Comm, r.commHandle(op.Comm))
 	r.translate(virtid.Datatype, r.dtype)
 	req := r.postRequest()
 	r.pending = append(r.pending, req)
@@ -556,7 +610,7 @@ func (r *Rank) TryRecv(net *netsim.Network, op Op) bool {
 }
 
 func (r *Rank) completeRecv(m netsim.Message) {
-	r.translate(virtid.Comm, r.comm)
+	r.translate(virtid.Comm, r.commHandle(r.Op().Comm))
 	r.translate(virtid.Datatype, r.dtype)
 	r.chargeMPICall(virtid.LookupCounts{Comm: 1, Datatype: 1}, 0, true)
 	// Piggyback synchronisation: the receiver cannot observe the message
@@ -632,7 +686,7 @@ func (r *Rank) Execute(net *netsim.Network) Transition {
 		r.state = BlockedRecv
 		r.blockedPeer = op.Peer
 		return Transition{Kind: BlockedOnRecv, Op: op}
-	case OpBarrier, OpAllreduce:
+	case OpBarrier, OpAllreduce, OpCommSplit:
 		return Transition{Kind: JoinedCollective, Op: op, Stamp: r.ArriveAtCollective()}
 	case OpSbrk:
 		r.DoSbrk(op)
@@ -671,16 +725,18 @@ func (r *Rank) Wake(net *netsim.Network) bool {
 
 // ArriveAtCollective executes the rank-local half of a collective:
 // translate the handles the call passes (every collective names the
-// communicator; a payload-carrying one also names the datatype), charge
-// the call overhead, mark the rank as waiting, and return the piggyback
-// stamp the coordinator gathers to compute the completion time.
+// communicator it runs over — world or a sub-communicator slot; a
+// payload-carrying one also names the datatype), charge the call
+// overhead, mark the rank as waiting, and return the piggyback stamp the
+// coordinator gathers to compute the completion time.
 func (r *Rank) ArriveAtCollective() vtime.Stamp {
 	if r.State() != Running {
 		panic(fmt.Sprintf("rank %d: ArriveAtCollective in state %v", r.id, r.state))
 	}
+	op := r.Op()
 	lookups := virtid.LookupCounts{Comm: 1}
-	r.translate(virtid.Comm, r.comm)
-	if r.Op().Kind == OpAllreduce {
+	r.translate(virtid.Comm, r.commHandle(op.Comm))
+	if op.Kind == OpAllreduce {
 		r.translate(virtid.Datatype, r.dtype)
 		lookups.Datatype = 1
 	}
@@ -698,6 +754,36 @@ func (r *Rank) FinishCollective(completion vtime.Time) {
 	r.clock.AdvanceTo(completion)
 	r.state = Running
 	r.stats.Collectives++
+	r.writeStateMarker()
+	r.pc++
+}
+
+// FinishCommSplit completes the comm-split the rank is waiting in: the
+// clock advances to the globally computed completion time, and the new
+// sub-communicator — global id commID, live lower-half handle real — is
+// registered in the virtualisation table and appended to the rank's slot
+// table. The registration is a table write charged at the selected
+// implementation's write cost; because the allocation counters are part
+// of the checkpoint image, a replayed split after restart re-mints a
+// bit-identical virtual handle.
+func (r *Rank) FinishCommSplit(completion vtime.Time, commID int, real virtid.Real) {
+	if r.state != InCollective {
+		panic(fmt.Sprintf("rank %d: FinishCommSplit in state %v", r.id, r.state))
+	}
+	if r.Op().Kind != OpCommSplit {
+		panic(fmt.Sprintf("rank %d: FinishCommSplit while waiting in %v", r.id, r.Op().Kind))
+	}
+	r.clock.AdvanceTo(completion)
+	v := r.vt.Register(virtid.Comm, real)
+	r.comms = append(r.comms, v)
+	r.commIDs = append(r.commIDs, commID)
+	writeTime := r.kernel.HandleWriteCost()
+	r.clock.Advance(writeTime)
+	r.stats.HandleWrites++
+	r.stats.WriteTime += writeTime
+	r.stats.ManaOverhead += writeTime
+	r.state = Running
+	r.stats.CommSplits++
 	r.writeStateMarker()
 	r.pc++
 }
@@ -734,6 +820,10 @@ func (r *Rank) CaptureImage(incremental bool) Image {
 	copy(inbox, r.inbox)
 	pending := make([]virtid.VID, len(r.pending))
 	copy(pending, r.pending)
+	comms := make([]virtid.VID, len(r.comms))
+	copy(comms, r.comms)
+	commIDs := make([]int, len(r.commIDs))
+	copy(commIDs, r.commIDs)
 	img := Image{
 		RankID:      r.id,
 		PC:          r.pc,
@@ -741,6 +831,8 @@ func (r *Rank) CaptureImage(incremental bool) Image {
 		Inbox:       inbox,
 		Virt:        r.vt.Snapshot(),
 		PendingReqs: pending,
+		Comms:       comms,
+		CommIDs:     commIDs,
 		Stats:       r.stats,
 	}
 	if incremental && r.mem.Generation() > 0 {
@@ -809,6 +901,10 @@ func (r *Rank) Restore(img Image) {
 	r.reqSeq = img.Virt.Next[virtid.Request]
 	r.pending = make([]virtid.VID, len(img.PendingReqs))
 	copy(r.pending, img.PendingReqs)
+	r.comms = make([]virtid.VID, len(img.Comms))
+	copy(r.comms, img.Comms)
+	r.commIDs = make([]int, len(img.CommIDs))
+	copy(r.commIDs, img.CommIDs)
 	r.clock.Set(img.Clock)
 	r.pc = img.PC
 	r.state = Running

@@ -483,3 +483,115 @@ func TestImageVirtSnapshotMatchesTable(t *testing.T) {
 		}
 	}
 }
+
+// TestCommSplitMintsSlotAndSurvivesImage walks one rank through an
+// MPI_Comm_split: arrival charges the call, FinishCommSplit registers
+// the new communicator handle (a priced table write), collectives can
+// then target the new slot, and a checkpoint image round-trips the slot
+// table so that a restored rank still resolves the sub-communicator —
+// while a split minted after the image dies with its timeline.
+func TestCommSplitMintsSlotAndSurvivesImage(t *testing.T) {
+	script := []Op{
+		{Kind: OpCommSplit, Comm: 0, Color: 3},
+		{Kind: OpBarrier, Comm: 1},
+		{Kind: OpCommSplit, Comm: 0, Color: 1},
+	}
+	r := New(0, kernelsim.Patched, virtid.ImplSharded, script)
+	if got := r.CommCount(); got != 1 {
+		t.Fatalf("initial comm slots = %d, want 1 (world)", got)
+	}
+
+	tr := r.Execute(testNet())
+	if tr.Kind != JoinedCollective || tr.Op.Kind != OpCommSplit || tr.Op.Color != 3 {
+		t.Fatalf("split arrival transition = %+v, want joined-collective comm-split colour 3", tr)
+	}
+	writesBefore := r.Stats().HandleWrites
+	r.FinishCommSplit(r.Clock().Now().Add(2*vtime.Microsecond), 5, RealCommBase+5)
+	if got := r.CommCount(); got != 2 {
+		t.Fatalf("comm slots after split = %d, want 2", got)
+	}
+	if got := r.CommID(1); got != 5 {
+		t.Errorf("slot 1 comm id = %d, want 5", got)
+	}
+	if got := r.Stats().CommSplits; got != 1 {
+		t.Errorf("CommSplits = %d, want 1", got)
+	}
+	if got := r.Stats().HandleWrites; got != writesBefore+1 {
+		t.Errorf("HandleWrites = %d, want %d (the registration is a priced table write)", got, writesBefore+1)
+	}
+	if got := r.Virtid().Len(virtid.Comm); got != 2 {
+		t.Errorf("live comm handles = %d, want 2 (world + split)", got)
+	}
+
+	// The barrier on the new slot translates the sub-communicator handle.
+	if tr := r.Execute(testNet()); tr.Kind != JoinedCollective {
+		t.Fatalf("barrier on split comm: transition %+v", tr)
+	}
+	r.FinishCollective(r.Clock().Now().Add(vtime.Microsecond))
+
+	img := r.CaptureImage(false)
+	if len(img.Comms) != 2 || len(img.CommIDs) != 2 || img.CommIDs[1] != 5 {
+		t.Fatalf("image comm table = %v/%v, want 2 slots with id 5 in slot 1", img.Comms, img.CommIDs)
+	}
+
+	// A second split past the checkpoint belongs to the dead timeline.
+	r.Execute(testNet())
+	r.FinishCommSplit(r.Clock().Now(), 9, RealCommBase+9)
+	if got := r.CommCount(); got != 3 {
+		t.Fatalf("comm slots after second split = %d, want 3", got)
+	}
+	r.Restore(img)
+	if got := r.CommCount(); got != 2 {
+		t.Errorf("restored comm slots = %d, want 2 (post-image split must die)", got)
+	}
+	if _, ok := r.Virtid().Lookup(virtid.Comm, img.Comms[1]); !ok {
+		t.Error("restored sub-communicator handle does not resolve")
+	}
+	if got := r.Virtid().Len(virtid.Comm); got != 2 {
+		t.Errorf("restored live comm handles = %d, want 2", got)
+	}
+}
+
+// TestOverlapScriptShape pins the overlap workload generator: two
+// world splits first, collectives target slots 1 and 2, all ranks share
+// the same per-communicator collective sequence, and the staggered
+// second grouping straddles two first-grouping communicators.
+func TestOverlapScriptShape(t *testing.T) {
+	cfg := OverlapWorkload(8, 4, 42)
+	for id := 0; id < cfg.Ranks; id++ {
+		script := GenerateScript(id, cfg)
+		if script[0].Kind != OpCommSplit || script[1].Kind != OpCommSplit {
+			t.Fatalf("rank %d: script does not open with two comm-splits", id)
+		}
+		if script[0].Color != id/4 || script[1].Color != (id+2)/4 {
+			t.Errorf("rank %d: split colours %d/%d, want %d/%d",
+				id, script[0].Color, script[1].Color, id/4, (id+2)/4)
+		}
+		var allreduces, barriers int
+		for _, op := range script[2:] {
+			switch op.Kind {
+			case OpCommSplit:
+				t.Fatalf("rank %d: comm-split after the prologue", id)
+			case OpAllreduce:
+				if op.Comm != 1 {
+					t.Errorf("rank %d: allreduce on slot %d, want 1", id, op.Comm)
+				}
+				allreduces++
+			case OpBarrier:
+				if op.Comm != 2 {
+					t.Errorf("rank %d: barrier on slot %d, want 2", id, op.Comm)
+				}
+				barriers++
+			}
+		}
+		if allreduces != cfg.Steps || barriers != cfg.Steps {
+			t.Errorf("rank %d: %d allreduces / %d barriers, want %d each", id, allreduces, barriers, cfg.Steps)
+		}
+	}
+	// Rank 2 sits in first-group 0 but second-group 1: the second layout
+	// genuinely overlaps the first.
+	s2 := GenerateScript(2, cfg)
+	if s2[0].Color != 0 || s2[1].Color != 1 {
+		t.Errorf("rank 2 colours %d/%d, want 0/1 (staggered grouping must straddle)", s2[0].Color, s2[1].Color)
+	}
+}

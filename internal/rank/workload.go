@@ -2,8 +2,37 @@ package rank
 
 import "mana/internal/vtime"
 
+// WorkloadKind selects one of the generated workload shapes.
+type WorkloadKind int
+
+const (
+	// WorkloadDefault is the halo-exchange ring with periodic world
+	// collectives the simulator has always generated.
+	WorkloadDefault WorkloadKind = iota
+	// WorkloadOverlap splits MPI_COMM_WORLD twice into two staggered
+	// group layouts and runs every step's collectives on those
+	// sub-communicators, so collectives on overlapping communicators are
+	// routinely in flight at the same time — the workload class the
+	// topological-sort drain planner exists for.
+	WorkloadOverlap
+)
+
+// String returns the workload's CLI name.
+func (k WorkloadKind) String() string {
+	switch k {
+	case WorkloadDefault:
+		return "default"
+	case WorkloadOverlap:
+		return "overlap"
+	default:
+		return "unknown"
+	}
+}
+
 // WorkloadConfig parameterises the deterministic SPMD workload generator.
 type WorkloadConfig struct {
+	// Kind selects the workload shape.
+	Kind WorkloadKind
 	// Ranks is the number of ranks in the job.
 	Ranks int
 	// Steps is the number of outer iterations per rank.
@@ -17,6 +46,11 @@ type WorkloadConfig struct {
 	MsgBytes uint64
 	// ReduceBytes is the allreduce payload per rank.
 	ReduceBytes uint64
+	// GroupSize is the overlap workload's sub-communicator width: the
+	// first split groups ranks [0..G), [G..2G), ...; the second shifts
+	// the grouping by G/2 so every second-split communicator straddles
+	// two first-split communicators.
+	GroupSize int
 }
 
 // DefaultWorkload returns a workload shaped like the paper's benchmark
@@ -32,11 +66,30 @@ func DefaultWorkload(ranks, steps int, seed uint64) WorkloadConfig {
 	}
 }
 
-// GenerateScript builds the scripted workload for one rank. All ranks
-// share the same SPMD structure — in particular the same collective
+// OverlapWorkload returns a workload whose collectives run on two
+// staggered sub-communicator layouts, so collectives on overlapping
+// communicators are concurrently in flight.
+func OverlapWorkload(ranks, steps int, seed uint64) WorkloadConfig {
+	cfg := DefaultWorkload(ranks, steps, seed)
+	cfg.Kind = WorkloadOverlap
+	cfg.GroupSize = 4
+	return cfg
+}
+
+// GenerateScript builds the scripted workload for one rank, dispatching
+// on the configured workload kind. All ranks share the same SPMD
+// structure — in particular the same per-communicator collective
 // sequence, as MPI requires — while compute durations are jittered
 // per-rank so clocks skew realistically and the drain phase has real
 // in-flight traffic to buffer.
+func GenerateScript(id int, cfg WorkloadConfig) []Op {
+	if cfg.Kind == WorkloadOverlap {
+		return generateOverlapScript(id, cfg)
+	}
+	return generateDefaultScript(id, cfg)
+}
+
+// generateDefaultScript builds the halo-exchange workload.
 //
 // Each step is: compute, send to the right ring neighbour, receive from
 // the left ring neighbour; every fourth step overlaps the exchange with
@@ -44,7 +97,7 @@ func DefaultWorkload(ranks, steps int, seed uint64) WorkloadConfig {
 // across the receive and checkpoints can land on it); every third step
 // ends in an allreduce, every fifth in a barrier, and every seventh
 // grows the heap (so checkpoint image sizes evolve between checkpoints).
-func GenerateScript(id int, cfg WorkloadConfig) []Op {
+func generateDefaultScript(id int, cfg WorkloadConfig) []Op {
 	rng := vtime.NewRNG(cfg.Seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15)
 	right := (id + 1) % cfg.Ranks
 	left := (id - 1 + cfg.Ranks) % cfg.Ranks
@@ -73,6 +126,53 @@ func GenerateScript(id int, cfg WorkloadConfig) []Op {
 			script = append(script, Op{Kind: OpBarrier})
 		}
 		if step%7 == 6 {
+			script = append(script, Op{Kind: OpSbrk, Bytes: 256 << 10})
+		}
+	}
+	return script
+}
+
+// generateOverlapScript builds the overlapping-collective workload: two
+// MPI_Comm_splits of the world communicator into group layouts offset by
+// half a group, then per step an allreduce on the rank's first-layout
+// communicator (slot 1) and a barrier on its second-layout communicator
+// (slot 2), with a world-ring halo exchange every second step. Because
+// slot-2 communicators straddle two slot-1 communicators, a rank's
+// barrier cannot complete until its neighbours' allreduces have, and at
+// any instant many collectives on overlapping communicators are
+// partially arrived — the situation the drain planner topologically
+// sorts. The per-step comm order (always slot 1 before slot 2) is the
+// same on every rank, so the dependency graph is acyclic by
+// construction.
+func generateOverlapScript(id int, cfg WorkloadConfig) []Op {
+	g := cfg.GroupSize
+	if g < 2 {
+		g = 2
+	}
+	if g > cfg.Ranks {
+		g = cfg.Ranks
+	}
+	rng := vtime.NewRNG(cfg.Seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15)
+	right := (id + 1) % cfg.Ranks
+	left := (id - 1 + cfg.Ranks) % cfg.Ranks
+	script := []Op{
+		{Kind: OpCommSplit, Comm: 0, Color: id / g},
+		{Kind: OpCommSplit, Comm: 0, Color: (id + g/2) / g},
+	}
+	for step := 0; step < cfg.Steps; step++ {
+		dur := vtime.Duration(float64(cfg.ComputeMean) * rng.Jitter(0.3))
+		script = append(script, Op{Kind: OpCompute, Dur: dur})
+		if cfg.Ranks > 1 && step%2 == 1 {
+			script = append(script,
+				Op{Kind: OpSend, Peer: right, Bytes: cfg.MsgBytes, Tag: step},
+				Op{Kind: OpRecv, Peer: left, Tag: step},
+			)
+		}
+		script = append(script, Op{Kind: OpAllreduce, Comm: 1, Bytes: cfg.ReduceBytes})
+		dur = vtime.Duration(float64(cfg.ComputeMean) * rng.Jitter(0.3) / 2)
+		script = append(script, Op{Kind: OpCompute, Dur: dur})
+		script = append(script, Op{Kind: OpBarrier, Comm: 2})
+		if step%5 == 4 {
 			script = append(script, Op{Kind: OpSbrk, Bytes: 256 << 10})
 		}
 	}
