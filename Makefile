@@ -85,18 +85,18 @@ smoke:
 	cmp /tmp/manasim-run1.txt /tmp/manasim-run2.txt
 
 # smoke-matrix mirrors CI's determinism matrix: every combination of
-# handle-table implementation, image mode and workload shape runs twice
-# at 512 ranks and must print byte-identical reports.
+# handle-table implementation, image mode and library scenario spec runs
+# twice at 512 ranks and must print byte-identical reports.
 smoke-matrix:
 	$(GO) build -o /tmp/manasim-matrix ./cmd/manasim
 	@set -e; \
 	for virtid in mutex sharded; do \
 	  for inc in "" "-incremental"; do \
-	    for workload in default overlap; do \
-	      echo "smoke-matrix: -virtid $$virtid $$inc -workload $$workload"; \
-	      /tmp/manasim-matrix -virtid $$virtid $$inc -workload $$workload \
+	    for spec in default overlap stencil master-worker bursty-alltoall pipeline; do \
+	      echo "smoke-matrix: -virtid $$virtid $$inc -spec $$spec"; \
+	      /tmp/manasim-matrix -virtid $$virtid $$inc -spec $$spec \
 	        -ranks 512 -steps 5 -ckpt-at 200us -no-fail > /tmp/manasim-matrix1.txt; \
-	      /tmp/manasim-matrix -virtid $$virtid $$inc -workload $$workload \
+	      /tmp/manasim-matrix -virtid $$virtid $$inc -spec $$spec \
 	        -ranks 512 -steps 5 -ckpt-at 200us -no-fail > /tmp/manasim-matrix2.txt; \
 	      cmp /tmp/manasim-matrix1.txt /tmp/manasim-matrix2.txt; \
 	    done; \

@@ -2,25 +2,37 @@
 // transparent checkpointing and prints a deterministic virtual-time
 // report.
 //
-// The default scenario runs 8 ranks through a halo-exchange workload,
-// takes one checkpoint at a fixed virtual time and one deliberately
-// requested in the middle of a collective (exercising the protocol's
-// deferral path), injects a failure shortly after the second checkpoint
-// commits, restarts from the last image and runs to completion. Two
-// consecutive invocations with the same flags print byte-identical
-// reports.
+// The workload a job runs is a declarative scenario spec: named phases
+// of compute and communication ops, compiled deterministically into one
+// op stream per rank. A small library of specs ships in the binary
+// (-spec stencil, -spec master-worker, ...); -spec also accepts a path
+// to a JSON spec file, so new workloads need no Go. The historical
+// -workload default|overlap flags remain as thin aliases for the
+// library specs of the same names. Alternatively -trace replays a
+// recorded per-rank op stream verbatim, and -record emits one for any
+// job.
 //
-// With -workload overlap the job instead splits MPI_COMM_WORLD into two
-// staggered sub-communicator layouts and runs every step's collectives
-// on them, so collectives on overlapping communicators are concurrently
-// in flight; the second checkpoint is requested at the first moment at
-// least two collectives are forming, exercising the dependency-ordered
-// (topological-sort) drain planner.
+// The default scenario runs 8 ranks through the "default" halo-exchange
+// spec, takes one checkpoint at a fixed virtual time, one while
+// point-to-point traffic is in flight and one deliberately requested in
+// the middle of a collective (exercising the protocol's deferral path),
+// injects a failure after the second checkpoint commits, restarts from
+// the last image and runs to completion. Two consecutive invocations
+// with the same flags print byte-identical reports.
+//
+// With -workload overlap (alias for -spec overlap) the job instead
+// splits MPI_COMM_WORLD into two staggered sub-communicator layouts and
+// runs every step's collectives on them, so collectives on overlapping
+// communicators are concurrently in flight; the second checkpoint is
+// requested at the first moment at least two collectives are forming,
+// exercising the dependency-ordered (topological-sort) drain planner.
 //
 // Usage:
 //
 //	go run ./cmd/manasim [-ranks 8] [-steps 30] [-seed 42] [-kernel unpatched|patched]
-//	                     [-virtid sharded|mutex] [-workload default|overlap] [-group 4]
+//	                     [-virtid sharded|mutex] [-spec <name|file.json>] [-group 4]
+//	                     [-trace job.trace] [-record job.trace]
+//	                     [-workload default|overlap]
 //	                     [-ckpt-at 5ms] [-fail-after 2] [-no-fail]
 //	                     [-incremental] [-full-every 4]
 package main
@@ -34,18 +46,24 @@ import (
 
 	"mana/internal/coordinator"
 	"mana/internal/kernelsim"
-	"mana/internal/rank"
+	"mana/internal/scenario"
 	"mana/internal/virtid"
 	"mana/internal/vtime"
 )
 
-// scenario holds the CLI-selectable parameters of one simulated job.
-type scenario struct {
+// scenarioOpts holds the CLI-selectable parameters of one simulated
+// job. The *Set fields record whether the user passed the flag at all —
+// several flags are only meaningful in combination with others, and a
+// flag that would be silently ignored is rejected instead.
+type scenarioOpts struct {
 	Ranks       int
 	Steps       int
 	Seed        uint64
 	Kernel      string
 	Virtid      string
+	Spec        string
+	Trace       string
+	Record      string
 	Workload    string
 	GroupSize   int
 	CkptAt      time.Duration
@@ -53,12 +71,19 @@ type scenario struct {
 	NoFail      bool
 	Incremental bool
 	FullEvery   int
+
+	RanksSet    bool
+	StepsSet    bool
+	SpecSet     bool
+	TraceSet    bool
+	WorkloadSet bool
+	GroupSet    bool
 }
 
 // defaultScenario mirrors the flag defaults; the golden test pins its
 // report bytes.
-func defaultScenario() scenario {
-	return scenario{
+func defaultScenario() scenarioOpts {
+	return scenarioOpts{
 		Ranks:     8,
 		Steps:     30,
 		Seed:      42,
@@ -72,9 +97,55 @@ func defaultScenario() scenario {
 	}
 }
 
+// resolveSpec turns the flag surface into a scenario spec: -spec names
+// a library spec or a JSON file on disk, and -workload is a thin alias
+// for the two library specs the flag historically selected.
+func resolveSpec(s scenarioOpts) (*scenario.Spec, error) {
+	if s.SpecSet {
+		if scenario.IsLibrary(s.Spec) {
+			return scenario.Load(s.Spec)
+		}
+		return scenario.LoadFile(s.Spec)
+	}
+	switch s.Workload {
+	case "default", "overlap":
+		return scenario.Load(s.Workload)
+	default:
+		return nil, fmt.Errorf("unknown -workload %q (want default or overlap)", s.Workload)
+	}
+}
+
+// triggersFrom translates a spec's checkpoint policy into coordinator
+// triggers, all anchored at the -ckpt-at virtual time. A spec (or a
+// trace, which carries no policy) without one gets the classic
+// three-checkpoint sequence.
+func triggersFrom(cks []scenario.CheckpointSpec, at vtime.Time) []coordinator.Trigger {
+	if len(cks) == 0 {
+		return []coordinator.Trigger{
+			{At: at},
+			{At: at, InFlight: true},
+			{At: at, MidCollective: true},
+		}
+	}
+	trig := make([]coordinator.Trigger, 0, len(cks))
+	for _, ck := range cks {
+		tr := coordinator.Trigger{At: at}
+		switch ck.Kind {
+		case "in-flight":
+			tr.InFlight = true
+		case "mid-collective":
+			tr.MidCollective = true
+		case "forming-colls":
+			tr.FormingColls = ck.Colls
+		}
+		trig = append(trig, tr)
+	}
+	return trig
+}
+
 // buildConfig validates the scenario and translates it into a
 // coordinator configuration.
-func buildConfig(s scenario) (coordinator.Config, error) {
+func buildConfig(s scenarioOpts) (coordinator.Config, error) {
 	var cfg coordinator.Config
 	if s.Ranks < 1 {
 		return cfg, fmt.Errorf("-ranks must be at least 1 (got %d)", s.Ranks)
@@ -106,39 +177,63 @@ func buildConfig(s scenario) (coordinator.Config, error) {
 	cfg.Seed = s.Seed
 	cfg.Incremental = s.Incremental
 	cfg.FullImageEvery = s.FullEvery
-	switch s.Workload {
-	case "default":
-		cfg.Workload = rank.DefaultWorkload(s.Ranks, s.Steps, s.Seed)
-		cfg.Triggers = []coordinator.Trigger{
-			// First checkpoint: plain virtual-time trigger.
-			{At: vtime.Time(s.CkptAt)},
-			// Second checkpoint: deliberately requested while point-to-point
-			// messages are in flight, so the drain phase buffers real traffic.
-			{At: vtime.Time(s.CkptAt), InFlight: true},
-			// Third checkpoint: deliberately requested while a collective is
-			// partially arrived, so the protocol must defer it.
-			{At: vtime.Time(s.CkptAt), MidCollective: true},
+
+	if s.TraceSet {
+		// A trace fixes the job completely; flags that shape a compiled
+		// spec would be silently ignored, so reject them.
+		switch {
+		case s.SpecSet:
+			return cfg, fmt.Errorf("-trace and -spec are mutually exclusive: a trace replays exactly the ops it recorded")
+		case s.WorkloadSet:
+			return cfg, fmt.Errorf("-trace and -workload are mutually exclusive: a trace replays exactly the ops it recorded")
+		case s.GroupSet:
+			return cfg, fmt.Errorf("-group has no effect when replaying a trace")
+		case s.RanksSet:
+			return cfg, fmt.Errorf("-ranks has no effect when replaying a trace (the trace fixes the rank count)")
+		case s.StepsSet:
+			return cfg, fmt.Errorf("-steps has no effect when replaying a trace")
 		}
-	case "overlap":
+		f, err := os.Open(s.Trace)
+		if err != nil {
+			return cfg, fmt.Errorf("-trace: %w", err)
+		}
+		defer f.Close()
+		progs, err := scenario.ReadTrace(f)
+		if err != nil {
+			return cfg, fmt.Errorf("-trace %s: %w", s.Trace, err)
+		}
+		cfg.Ranks = len(progs)
+		cfg.Programs = progs
+		cfg.Triggers = triggersFrom(nil, vtime.Time(s.CkptAt))
+		if !s.NoFail {
+			cfg.FailAtCheckpoint = s.FailAfter
+		}
+		return cfg, nil
+	}
+
+	if s.SpecSet && s.WorkloadSet {
+		return cfg, fmt.Errorf("-spec and -workload are mutually exclusive (-workload is an alias for the library spec of the same name)")
+	}
+	spec, err := resolveSpec(s)
+	if err != nil {
+		return cfg, err
+	}
+	group := 0
+	if s.GroupSet {
+		if !spec.UsesGroup() {
+			return cfg, fmt.Errorf("-group has no effect on spec %q: it declares no communicator splits", spec.Name)
+		}
 		if s.GroupSize < 2 {
 			return cfg, fmt.Errorf("-group must be at least 2 (got %d)", s.GroupSize)
 		}
-		cfg.Workload = rank.OverlapWorkload(s.Ranks, s.Steps, s.Seed)
-		cfg.Workload.GroupSize = s.GroupSize
-		cfg.Triggers = []coordinator.Trigger{
-			// First checkpoint: plain virtual-time trigger.
-			{At: vtime.Time(s.CkptAt)},
-			// Second checkpoint: deliberately requested at the first moment
-			// at least two collectives are simultaneously in flight, so the
-			// topological-sort drain planner has a real graph to order.
-			{At: vtime.Time(s.CkptAt), FormingColls: 2},
-			// Third checkpoint: deliberately requested while a collective is
-			// partially arrived, so the protocol must defer it.
-			{At: vtime.Time(s.CkptAt), MidCollective: true},
-		}
-	default:
-		return cfg, fmt.Errorf("unknown -workload %q (want default or overlap)", s.Workload)
+		group = s.GroupSize
 	}
+	progs, err := spec.Compile(scenario.Params{Ranks: s.Ranks, Steps: s.Steps, Seed: s.Seed, Group: group})
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Programs = progs
+	cfg.Triggers = triggersFrom(spec.Checkpoints, vtime.Time(s.CkptAt))
 	if !s.NoFail {
 		cfg.FailAtCheckpoint = s.FailAfter
 	}
@@ -170,27 +265,69 @@ func runScenario(cfg coordinator.Config) (string, error) {
 	return out.String(), nil
 }
 
+// recordTrace writes the job's per-rank op streams as a replayable
+// trace file.
+func recordTrace(path string, progs []scenario.Program) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("-record: %w", err)
+	}
+	if err := scenario.WriteTrace(f, progs); err != nil {
+		f.Close()
+		return fmt.Errorf("-record %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("-record %s: %w", path, err)
+	}
+	return nil
+}
+
 func main() {
 	def := defaultScenario()
-	var s scenario
+	var s scenarioOpts
 	flag.IntVar(&s.Ranks, "ranks", def.Ranks, "number of simulated MPI ranks")
 	flag.IntVar(&s.Steps, "steps", def.Steps, "workload iterations per rank")
 	flag.Uint64Var(&s.Seed, "seed", def.Seed, "deterministic seed for workload jitter and ckpt stragglers")
 	flag.StringVar(&s.Kernel, "kernel", def.Kernel, "kernel personality: unpatched or patched")
 	flag.StringVar(&s.Virtid, "virtid", def.Virtid, "handle-virtualisation table: sharded (lock-free reads) or mutex (MANA baseline)")
-	flag.StringVar(&s.Workload, "workload", def.Workload, "workload shape: default (halo exchange, world collectives) or overlap (staggered sub-communicator collectives)")
-	flag.IntVar(&s.GroupSize, "group", def.GroupSize, "with -workload overlap, the sub-communicator group width")
+	flag.StringVar(&s.Spec, "spec", "", "scenario spec: a library name ("+strings.Join(scenario.Names(), ", ")+") or a JSON spec file")
+	flag.StringVar(&s.Trace, "trace", "", "replay a recorded per-rank op trace instead of compiling a spec")
+	flag.StringVar(&s.Record, "record", "", "write the job's per-rank op streams to this trace file before running")
+	flag.StringVar(&s.Workload, "workload", def.Workload, "alias for -spec limited to the classic specs: default (halo exchange, world collectives) or overlap (staggered sub-communicator collectives)")
+	flag.IntVar(&s.GroupSize, "group", def.GroupSize, "sub-communicator group width, for specs that split communicators (e.g. overlap)")
 	flag.DurationVar(&s.CkptAt, "ckpt-at", def.CkptAt, "virtual time of the first checkpoint request")
 	flag.IntVar(&s.FailAfter, "fail-after", def.FailAfter, "inject a failure after this checkpoint commits (0 = never)")
 	flag.BoolVar(&s.NoFail, "no-fail", def.NoFail, "disable the failure/restart scenario")
 	flag.BoolVar(&s.Incremental, "incremental", def.Incremental, "write incremental (dirty-page delta) checkpoint images after the first full one")
 	flag.IntVar(&s.FullEvery, "full-every", def.FullEvery, "with -incremental, write a full image every Nth checkpoint (0 = only the first)")
 	flag.Parse()
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "ranks":
+			s.RanksSet = true
+		case "steps":
+			s.StepsSet = true
+		case "spec":
+			s.SpecSet = true
+		case "trace":
+			s.TraceSet = true
+		case "workload":
+			s.WorkloadSet = true
+		case "group":
+			s.GroupSet = true
+		}
+	})
 
 	cfg, err := buildConfig(s)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "manasim: %v\n", err)
 		os.Exit(2)
+	}
+	if s.Record != "" {
+		if err := recordTrace(s.Record, cfg.Programs); err != nil {
+			fmt.Fprintf(os.Stderr, "manasim: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	report, err := runScenario(cfg)
 	if err != nil {

@@ -232,15 +232,30 @@ func TestVirtidFlagChangesReport(t *testing.T) {
 func TestBuildConfigValidation(t *testing.T) {
 	cases := []struct {
 		name string
-		mut  func(*scenario)
+		mut  func(*scenarioOpts)
 	}{
-		{"zero ranks", func(s *scenario) { s.Ranks = 0 }},
-		{"negative steps", func(s *scenario) { s.Steps = -1 }},
-		{"unknown kernel", func(s *scenario) { s.Kernel = "plan9" }},
-		{"unknown virtid", func(s *scenario) { s.Virtid = "bogolock" }},
-		{"unknown workload", func(s *scenario) { s.Workload = "spiral" }},
-		{"tiny overlap group", func(s *scenario) { s.Workload = "overlap"; s.GroupSize = 1 }},
-		{"negative full-every", func(s *scenario) { s.FullEvery = -1 }},
+		{"zero ranks", func(s *scenarioOpts) { s.Ranks = 0 }},
+		{"negative steps", func(s *scenarioOpts) { s.Steps = -1 }},
+		{"unknown kernel", func(s *scenarioOpts) { s.Kernel = "plan9" }},
+		{"unknown virtid", func(s *scenarioOpts) { s.Virtid = "bogolock" }},
+		{"unknown workload", func(s *scenarioOpts) { s.Workload = "spiral" }},
+		{"tiny overlap group", func(s *scenarioOpts) { s.Workload = "overlap"; s.GroupSize = 1; s.GroupSet = true }},
+		{"negative full-every", func(s *scenarioOpts) { s.FullEvery = -1 }},
+		{"group without splits", func(s *scenarioOpts) { s.GroupSize = 4; s.GroupSet = true }},
+		{"group on splitless spec", func(s *scenarioOpts) { s.Spec = "stencil"; s.SpecSet = true; s.GroupSize = 4; s.GroupSet = true }},
+		{"spec and workload", func(s *scenarioOpts) {
+			s.Spec = "overlap"
+			s.SpecSet = true
+			s.Workload = "overlap"
+			s.WorkloadSet = true
+		}},
+		{"unknown spec", func(s *scenarioOpts) { s.Spec = "no-such-spec.json"; s.SpecSet = true }},
+		{"trace and spec", func(s *scenarioOpts) { s.Trace = "x.trace"; s.TraceSet = true; s.Spec = "stencil"; s.SpecSet = true }},
+		{"trace and workload", func(s *scenarioOpts) { s.Trace = "x.trace"; s.TraceSet = true; s.WorkloadSet = true }},
+		{"trace and group", func(s *scenarioOpts) { s.Trace = "x.trace"; s.TraceSet = true; s.GroupSet = true }},
+		{"trace and ranks", func(s *scenarioOpts) { s.Trace = "x.trace"; s.TraceSet = true; s.RanksSet = true }},
+		{"trace and steps", func(s *scenarioOpts) { s.Trace = "x.trace"; s.TraceSet = true; s.StepsSet = true }},
+		{"missing trace file", func(s *scenarioOpts) { s.Trace = "testdata/no-such.trace"; s.TraceSet = true }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"mana/internal/scenario"
+)
+
+// TestLibrarySpecReportGoldens pins a report golden for every library
+// spec beyond the two classic ones, at the default 8-rank scenario with
+// failure and restart. Regenerate deliberately with:
+//
+//	go test ./cmd/manasim -run TestLibrarySpecReportGoldens -update
+func TestLibrarySpecReportGoldens(t *testing.T) {
+	for _, name := range []string{"stencil", "master-worker", "bursty-alltoall", "pipeline"} {
+		t.Run(name, func(t *testing.T) {
+			s := defaultScenario()
+			s.Spec = name
+			s.SpecSet = true
+			cfg, err := buildConfig(s)
+			if err != nil {
+				t.Fatalf("buildConfig: %v", err)
+			}
+			got, err := runScenario(cfg)
+			if err != nil {
+				t.Fatalf("runScenario: %v", err)
+			}
+			if !strings.Contains(got, "injected failure") {
+				t.Errorf("%s scenario did not exercise failure/restart:\n%s", name, got)
+			}
+			golden := filepath.Join("testdata", name+"_report.golden")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s report deviates from golden file.\n--- got\n%s\n--- want\n%s", name, got, want)
+			}
+		})
+	}
+}
+
+// TestWorkloadAliasMatchesSpec pins the alias contract: -workload
+// default|overlap must be byte-for-byte the same job as -spec of the
+// same name.
+func TestWorkloadAliasMatchesSpec(t *testing.T) {
+	for _, name := range []string{"default", "overlap"} {
+		alias := defaultScenario()
+		alias.Workload = name
+		alias.WorkloadSet = true
+		aliasCfg, err := buildConfig(alias)
+		if err != nil {
+			t.Fatalf("buildConfig(-workload %s): %v", name, err)
+		}
+		aliasReport, err := runScenario(aliasCfg)
+		if err != nil {
+			t.Fatalf("runScenario(-workload %s): %v", name, err)
+		}
+
+		spec := defaultScenario()
+		spec.Spec = name
+		spec.SpecSet = true
+		specCfg, err := buildConfig(spec)
+		if err != nil {
+			t.Fatalf("buildConfig(-spec %s): %v", name, err)
+		}
+		specReport, err := runScenario(specCfg)
+		if err != nil {
+			t.Fatalf("runScenario(-spec %s): %v", name, err)
+		}
+		if aliasReport != specReport {
+			t.Errorf("-workload %s and -spec %s render different reports:\n--- alias\n%s\n--- spec\n%s",
+				name, name, aliasReport, specReport)
+		}
+	}
+}
+
+// TestSpecDeterminismAcrossGOMAXPROCS is the report half of the
+// determinism property: the same spec and seed must render byte-
+// identical reports whatever the parallelism of the host process.
+func TestSpecDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	s := defaultScenario()
+	s.Spec = "bursty-alltoall"
+	s.SpecSet = true
+	s.Ranks = 12
+	s.Steps = 16
+	var reports []string
+	for _, procs := range []int{1, 4} {
+		runtime.GOMAXPROCS(procs)
+		cfg, err := buildConfig(s)
+		if err != nil {
+			t.Fatalf("buildConfig: %v", err)
+		}
+		report, err := runScenario(cfg)
+		if err != nil {
+			t.Fatalf("runScenario (GOMAXPROCS=%d): %v", procs, err)
+		}
+		reports = append(reports, report)
+	}
+	if reports[0] != reports[1] {
+		t.Errorf("report depends on GOMAXPROCS:\n--- 1\n%s\n--- 4\n%s", reports[0], reports[1])
+	}
+}
+
+// TestRecordReplayRoundTrip pins the trace mode end to end: a job
+// recorded with -record and replayed with -trace reproduces the
+// original report byte for byte. The spec's checkpoint policy must be
+// the default one, since a trace carries no policy.
+func TestRecordReplayRoundTrip(t *testing.T) {
+	s := defaultScenario()
+	s.Spec = "stencil"
+	s.SpecSet = true
+	cfg, err := buildConfig(s)
+	if err != nil {
+		t.Fatalf("buildConfig: %v", err)
+	}
+	recorded, err := runScenario(cfg)
+	if err != nil {
+		t.Fatalf("recorded run: %v", err)
+	}
+
+	trace := filepath.Join(t.TempDir(), "stencil.trace")
+	if err := recordTrace(trace, cfg.Programs); err != nil {
+		t.Fatalf("recordTrace: %v", err)
+	}
+	replay := defaultScenario()
+	replay.Trace = trace
+	replay.TraceSet = true
+	replayCfg, err := buildConfig(replay)
+	if err != nil {
+		t.Fatalf("buildConfig(-trace): %v", err)
+	}
+	if replayCfg.Ranks != cfg.Ranks {
+		t.Fatalf("replay rank count %d, want %d from the trace header", replayCfg.Ranks, cfg.Ranks)
+	}
+	replayed, err := runScenario(replayCfg)
+	if err != nil {
+		t.Fatalf("replayed run: %v", err)
+	}
+	if recorded != replayed {
+		t.Errorf("record->replay altered the report:\n--- recorded\n%s\n--- replayed\n%s", recorded, replayed)
+	}
+}
+
+// TestSpecFileEqualsLibrary: a spec loaded from a file on disk behaves
+// exactly like its embedded library twin — the "add a workload without
+// writing Go" path.
+func TestSpecFileEqualsLibrary(t *testing.T) {
+	src, err := scenario.Load("pipeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = src
+	data, err := os.ReadFile(filepath.Join("..", "..", "internal", "scenario", "specs", "pipeline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "my-pipeline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	lib := defaultScenario()
+	lib.Spec = "pipeline"
+	lib.SpecSet = true
+	libCfg, err := buildConfig(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := defaultScenario()
+	file.Spec = path
+	file.SpecSet = true
+	fileCfg, err := buildConfig(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	libReport, err := runScenario(libCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileReport, err := runScenario(fileCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if libReport != fileReport {
+		t.Error("a file copy of the pipeline spec renders a different report than the library spec")
+	}
+}

@@ -54,6 +54,7 @@ import (
 	"mana/internal/memsim"
 	"mana/internal/netsim"
 	"mana/internal/rank"
+	"mana/internal/scenario"
 	"mana/internal/virtid"
 	"mana/internal/vtime"
 )
@@ -91,8 +92,11 @@ type Config struct {
 	Virtid virtid.Impl
 	// Net is the interconnect cost model.
 	Net netsim.Params
-	// Workload parameterises the generated SPMD scripts.
-	Workload rank.WorkloadConfig
+	// Programs carries one op stream per rank (index = rank id), compiled
+	// from a scenario spec, read from a recorded trace, or — in tests —
+	// built directly (scenario.PerRank) to stage precise protocol
+	// situations. New panics unless len(Programs) == Ranks.
+	Programs []scenario.Program
 	// CkptWriteBandwidth and CkptReadBandwidth are the per-rank
 	// parallel-filesystem bandwidths for image write and restart read.
 	// Zero or negative values model free (instantaneous) I/O, matching
@@ -124,10 +128,6 @@ type Config struct {
 	// event dispatch "iterations" is not a meaningful unit.
 	FailAtCheckpoint int
 	FailDelay        vtime.Duration
-	// ScriptFor, when non-nil, overrides the generated workload with a
-	// handcrafted per-rank script. Tests use it to stage precise
-	// protocol situations (messages in flight, partial collectives).
-	ScriptFor func(id int) []rank.Op
 }
 
 // DefaultConfig returns a runnable 8-rank configuration.
@@ -137,7 +137,7 @@ func DefaultConfig() Config {
 		Personality:        kernelsim.Unpatched,
 		Virtid:             virtid.ImplSharded,
 		Net:                netsim.DefaultParams(),
-		Workload:           rank.DefaultWorkload(8, 30, 42),
+		Programs:           scenario.MustPrograms("default", scenario.Params{Ranks: 8, Steps: 30, Seed: 42}),
 		CkptWriteBandwidth: 2e9,
 		CkptReadBandwidth:  4e9,
 		StragglerP:         0.1,
@@ -395,7 +395,9 @@ func New(cfg Config) *Coordinator {
 	if cfg.Ranks <= 0 {
 		panic("coordinator: config needs at least one rank")
 	}
-	cfg.Workload.Ranks = cfg.Ranks
+	if len(cfg.Programs) != cfg.Ranks {
+		panic(fmt.Sprintf("coordinator: config carries %d programs for %d ranks", len(cfg.Programs), cfg.Ranks))
+	}
 	world := make([]int, cfg.Ranks)
 	for i := range world {
 		world[i] = i
@@ -421,13 +423,7 @@ func New(cfg Config) *Coordinator {
 		c.queue.Push(t.At, event{kind: evTrigger, trigger: i})
 	}
 	for id := 0; id < cfg.Ranks; id++ {
-		var script []rank.Op
-		if cfg.ScriptFor != nil {
-			script = cfg.ScriptFor(id)
-		} else {
-			script = rank.GenerateScript(id, cfg.Workload)
-		}
-		r := rank.New(id, cfg.Personality, cfg.Virtid, script)
+		r := rank.New(id, cfg.Personality, cfg.Virtid, cfg.Programs[id])
 		c.ranks = append(c.ranks, r)
 		if r.State() == rank.Done {
 			c.doneCount++
@@ -637,13 +633,13 @@ func (c *Coordinator) maybeScheduleCollectiveDone(f *forming) {
 }
 
 // collectiveKindOf maps a collective op onto the network cost model.
-func collectiveKindOf(k rank.OpKind) netsim.CollectiveKind {
+func collectiveKindOf(k scenario.OpKind) netsim.CollectiveKind {
 	switch k {
-	case rank.OpBarrier:
+	case scenario.OpBarrier:
 		return netsim.Barrier
-	case rank.OpAllreduce:
+	case scenario.OpAllreduce:
 		return netsim.Allreduce
-	case rank.OpCommSplit:
+	case scenario.OpCommSplit:
 		return netsim.CommSplit
 	default:
 		panic(fmt.Sprintf("coordinator: op %v is not a collective", k))

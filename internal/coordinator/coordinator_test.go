@@ -7,7 +7,7 @@ import (
 
 	"mana/internal/kernelsim"
 	"mana/internal/netsim"
-	"mana/internal/rank"
+	"mana/internal/scenario"
 	"mana/internal/virtid"
 	"mana/internal/vtime"
 )
@@ -15,7 +15,7 @@ import (
 func smallConfig(ranks, steps int) Config {
 	cfg := DefaultConfig()
 	cfg.Ranks = ranks
-	cfg.Workload = rank.DefaultWorkload(ranks, steps, 7)
+	cfg.Programs = scenario.MustPrograms("default", scenario.Params{Ranks: ranks, Steps: steps, Seed: 7})
 	cfg.Seed = 7
 	return cfg
 }
@@ -28,15 +28,15 @@ func TestDrainReachesZeroBeforeSnapshot(t *testing.T) {
 	cfg := smallConfig(2, 0)
 	cfg.StragglerP = 0
 	cfg.Triggers = []Trigger{{At: 0, InFlight: true}}
-	cfg.ScriptFor = func(id int) []rank.Op {
+	cfg.Programs = scenario.PerRank(cfg.Ranks, func(id int) []scenario.Op {
 		if id == 0 {
-			return []rank.Op{{Kind: rank.OpSend, Peer: 1, Bytes: 4096, Tag: 1}}
+			return []scenario.Op{{Kind: scenario.OpSend, Peer: 1, Bytes: 4096, Tag: 1}}
 		}
-		return []rank.Op{
-			{Kind: rank.OpCompute, Dur: 1 * vtime.Millisecond},
-			{Kind: rank.OpRecv, Peer: 0, Tag: 1},
+		return []scenario.Op{
+			{Kind: scenario.OpCompute, Dur: 1 * vtime.Millisecond},
+			{Kind: scenario.OpRecv, Peer: 0, Tag: 1},
 		}
-	}
+	})
 	c := New(cfg)
 	outcome, err := c.Run()
 	if err != nil {
@@ -83,15 +83,15 @@ func TestMidCollectiveCheckpointDeferred(t *testing.T) {
 	cfg := smallConfig(4, 0)
 	cfg.StragglerP = 0
 	cfg.Triggers = []Trigger{{At: 0, MidCollective: true}}
-	cfg.ScriptFor = func(id int) []rank.Op {
-		return []rank.Op{
+	cfg.Programs = scenario.PerRank(cfg.Ranks, func(id int) []scenario.Op {
+		return []scenario.Op{
 			// Skewed compute so ranks arrive at the collective at
 			// different times.
-			{Kind: rank.OpCompute, Dur: vtime.Duration(id+1) * vtime.Millisecond},
-			{Kind: rank.OpAllreduce, Bytes: 8192},
-			{Kind: rank.OpCompute, Dur: 1 * vtime.Millisecond},
+			{Kind: scenario.OpCompute, Dur: vtime.Duration(id+1) * vtime.Millisecond},
+			{Kind: scenario.OpAllreduce, Bytes: 8192},
+			{Kind: scenario.OpCompute, Dur: 1 * vtime.Millisecond},
 		}
-	}
+	})
 	c := New(cfg)
 	outcome, err := c.Run()
 	if err != nil {
@@ -267,29 +267,29 @@ func TestRestartDiscardsPendingRequests(t *testing.T) {
 	// ~1.0035ms), so a failure at 1.001ms lands mid-collective with the
 	// deferred request still pending.
 	cfg.FailDelay = 1001 * vtime.Microsecond
-	cfg.ScriptFor = func(id int) []rank.Op {
+	cfg.Programs = scenario.PerRank(cfg.Ranks, func(id int) []scenario.Op {
 		// Rank 3 blocks on a receive that rank 0 only satisfies after its
 		// own compute phase, so ranks 1 and 2 sit inside the allreduce —
 		// partially arrived — when the failure event fires.
 		switch id {
 		case 0:
-			return []rank.Op{
-				{Kind: rank.OpCompute, Dur: 1 * vtime.Millisecond},
-				{Kind: rank.OpSend, Peer: 3, Bytes: 1024},
-				{Kind: rank.OpAllreduce, Bytes: 1024},
+			return []scenario.Op{
+				{Kind: scenario.OpCompute, Dur: 1 * vtime.Millisecond},
+				{Kind: scenario.OpSend, Peer: 3, Bytes: 1024},
+				{Kind: scenario.OpAllreduce, Bytes: 1024},
 			}
 		case 3:
-			return []rank.Op{
-				{Kind: rank.OpRecv, Peer: 0},
-				{Kind: rank.OpAllreduce, Bytes: 1024},
+			return []scenario.Op{
+				{Kind: scenario.OpRecv, Peer: 0},
+				{Kind: scenario.OpAllreduce, Bytes: 1024},
 			}
 		default:
-			return []rank.Op{
-				{Kind: rank.OpCompute, Dur: 1 * vtime.Millisecond},
-				{Kind: rank.OpAllreduce, Bytes: 1024},
+			return []scenario.Op{
+				{Kind: scenario.OpCompute, Dur: 1 * vtime.Millisecond},
+				{Kind: scenario.OpAllreduce, Bytes: 1024},
 			}
 		}
-	}
+	})
 	c := New(cfg)
 	outcome, err := c.Run()
 	if err != nil {
@@ -423,21 +423,21 @@ func BenchmarkRun(b *testing.B) {
 // bit-identical to an uncheckpointed one, request accounting included.
 func TestVirtidTableRebuiltDeterministicallyOnRestart(t *testing.T) {
 	base := smallConfig(2, 0)
-	script := func(id int) []rank.Op {
+	script := func(id int) []scenario.Op {
 		if id == 0 {
-			return []rank.Op{
-				{Kind: rank.OpIsend, Peer: 1, Bytes: 2048, Tag: 7},
-				{Kind: rank.OpRecv, Peer: 1, Tag: 8},
-				{Kind: rank.OpWait},
+			return []scenario.Op{
+				{Kind: scenario.OpIsend, Peer: 1, Bytes: 2048, Tag: 7},
+				{Kind: scenario.OpRecv, Peer: 1, Tag: 8},
+				{Kind: scenario.OpWait},
 			}
 		}
-		return []rank.Op{
-			{Kind: rank.OpCompute, Dur: 50 * vtime.Microsecond},
-			{Kind: rank.OpRecv, Peer: 0, Tag: 7},
-			{Kind: rank.OpSend, Peer: 0, Bytes: 2048, Tag: 8},
+		return []scenario.Op{
+			{Kind: scenario.OpCompute, Dur: 50 * vtime.Microsecond},
+			{Kind: scenario.OpRecv, Peer: 0, Tag: 7},
+			{Kind: scenario.OpSend, Peer: 0, Bytes: 2048, Tag: 8},
 		}
 	}
-	base.ScriptFor = script
+	base.Programs = scenario.PerRank(base.Ranks, script)
 
 	cfg := base
 	cfg.Triggers = []Trigger{{At: 0, InFlight: true}}

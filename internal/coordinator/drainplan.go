@@ -35,6 +35,7 @@ import (
 
 	"mana/internal/netsim"
 	"mana/internal/rank"
+	"mana/internal/scenario"
 )
 
 // drainNode is one in-flight collective in the dependency graph: the
@@ -320,7 +321,7 @@ func (c *Coordinator) markNeeded(id int) {
 func (c *Coordinator) shouldHold(r *rank.Rank) bool {
 	op := r.Op()
 	switch op.Kind {
-	case rank.OpBarrier, rank.OpAllreduce, rank.OpCommSplit:
+	case scenario.OpBarrier, scenario.OpAllreduce, scenario.OpCommSplit:
 	default:
 		return false
 	}

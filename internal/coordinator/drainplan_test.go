@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"mana/internal/rank"
+	"mana/internal/scenario"
 	"mana/internal/vtime"
 )
 
@@ -103,17 +104,17 @@ func TestTopoOrderCycleNamesRanks(t *testing.T) {
 // splitThenBarriers builds the mis-ordered-collectives deadlock: both
 // ranks split the world twice into the same two {0,1} communicators
 // (slots 1 and 2), then enter the two barriers in opposite orders.
-func splitThenBarriers(id int) []rank.Op {
+func splitThenBarriers(id int) []scenario.Op {
 	first, second := 1, 2
 	if id == 1 {
 		first, second = 2, 1
 	}
-	return []rank.Op{
-		{Kind: rank.OpCommSplit, Comm: 0, Color: 0},
-		{Kind: rank.OpCommSplit, Comm: 0, Color: 0},
-		{Kind: rank.OpCompute, Dur: 10 * vtime.Microsecond},
-		{Kind: rank.OpBarrier, Comm: first},
-		{Kind: rank.OpBarrier, Comm: second},
+	return []scenario.Op{
+		{Kind: scenario.OpCommSplit, Comm: 0, Color: 0},
+		{Kind: scenario.OpCommSplit, Comm: 0, Color: 0},
+		{Kind: scenario.OpCompute, Dur: 10 * vtime.Microsecond},
+		{Kind: scenario.OpBarrier, Comm: first},
+		{Kind: scenario.OpBarrier, Comm: second},
 	}
 }
 
@@ -124,7 +125,7 @@ func splitThenBarriers(id int) []rank.Op {
 func TestMisorderedCollectivesDeadlockDiagnosed(t *testing.T) {
 	cfg := smallConfig(2, 0)
 	cfg.Triggers = nil
-	cfg.ScriptFor = splitThenBarriers
+	cfg.Programs = scenario.PerRank(cfg.Ranks, splitThenBarriers)
 	c := New(cfg)
 	outcome, err := c.Run()
 	if outcome != Failed || err == nil {
@@ -144,7 +145,7 @@ func TestMisorderedCollectivesDeadlockDiagnosed(t *testing.T) {
 func TestCheckpointIntentDetectsCycle(t *testing.T) {
 	cfg := smallConfig(2, 0)
 	cfg.Triggers = []Trigger{{At: vtime.Time(1 * vtime.Millisecond)}}
-	cfg.ScriptFor = splitThenBarriers
+	cfg.Programs = scenario.PerRank(cfg.Ranks, splitThenBarriers)
 	c := New(cfg)
 	outcome, err := c.Run()
 	if outcome != Failed || err == nil {
@@ -166,7 +167,7 @@ func TestCheckpointIntentDetectsCycle(t *testing.T) {
 func overlapConfig(ranks, steps int) Config {
 	cfg := DefaultConfig()
 	cfg.Ranks = ranks
-	cfg.Workload = rank.OverlapWorkload(ranks, steps, 7)
+	cfg.Programs = scenario.MustPrograms("overlap", scenario.Params{Ranks: ranks, Steps: steps, Seed: 7})
 	cfg.Seed = 7
 	cfg.Triggers = nil
 	return cfg
@@ -312,14 +313,14 @@ func TestDrainHoldsUnneededRanks(t *testing.T) {
 		2: 30 * vtime.Microsecond,
 		3: 200 * vtime.Microsecond,
 	}
-	cfg.ScriptFor = func(id int) []rank.Op {
-		return []rank.Op{
-			{Kind: rank.OpCommSplit, Comm: 0, Color: id / 2},
-			{Kind: rank.OpCompute, Dur: compute[id]},
-			{Kind: rank.OpBarrier, Comm: 1},
-			{Kind: rank.OpCompute, Dur: 10 * vtime.Microsecond},
+	cfg.Programs = scenario.PerRank(cfg.Ranks, func(id int) []scenario.Op {
+		return []scenario.Op{
+			{Kind: scenario.OpCommSplit, Comm: 0, Color: id / 2},
+			{Kind: scenario.OpCompute, Dur: compute[id]},
+			{Kind: scenario.OpBarrier, Comm: 1},
+			{Kind: scenario.OpCompute, Dur: 10 * vtime.Microsecond},
 		}
-	}
+	})
 	// Request the checkpoint while rank 0 is inside the {0,1} barrier
 	// (from ~20us) and before rank 2 reaches the {2,3} barrier (~36us).
 	cfg.Triggers = []Trigger{{At: vtime.Time(25 * vtime.Microsecond)}}
@@ -368,36 +369,36 @@ func TestDrainHoldsUnneededRanks(t *testing.T) {
 func TestDrainExtendsPlanThroughBlockedChain(t *testing.T) {
 	cfg := smallConfig(4, 0)
 	cfg.StragglerP = 0
-	cfg.ScriptFor = func(id int) []rank.Op {
+	cfg.Programs = scenario.PerRank(cfg.Ranks, func(id int) []scenario.Op {
 		switch id {
 		case 0:
-			return []rank.Op{
-				{Kind: rank.OpCommSplit, Comm: 0, Color: 0},
-				{Kind: rank.OpCompute, Dur: 5 * vtime.Microsecond},
-				{Kind: rank.OpBarrier, Comm: 1},
+			return []scenario.Op{
+				{Kind: scenario.OpCommSplit, Comm: 0, Color: 0},
+				{Kind: scenario.OpCompute, Dur: 5 * vtime.Microsecond},
+				{Kind: scenario.OpBarrier, Comm: 1},
 			}
 		case 1:
-			return []rank.Op{
-				{Kind: rank.OpCommSplit, Comm: 0, Color: 0},
-				{Kind: rank.OpCompute, Dur: 10 * vtime.Microsecond},
-				{Kind: rank.OpRecv, Peer: 2},
-				{Kind: rank.OpBarrier, Comm: 1},
+			return []scenario.Op{
+				{Kind: scenario.OpCommSplit, Comm: 0, Color: 0},
+				{Kind: scenario.OpCompute, Dur: 10 * vtime.Microsecond},
+				{Kind: scenario.OpRecv, Peer: 2},
+				{Kind: scenario.OpBarrier, Comm: 1},
 			}
 		case 2:
-			return []rank.Op{
-				{Kind: rank.OpCommSplit, Comm: 0, Color: 1},
-				{Kind: rank.OpCompute, Dur: 30 * vtime.Microsecond},
-				{Kind: rank.OpBarrier, Comm: 1},
-				{Kind: rank.OpSend, Peer: 1, Bytes: 1024},
+			return []scenario.Op{
+				{Kind: scenario.OpCommSplit, Comm: 0, Color: 1},
+				{Kind: scenario.OpCompute, Dur: 30 * vtime.Microsecond},
+				{Kind: scenario.OpBarrier, Comm: 1},
+				{Kind: scenario.OpSend, Peer: 1, Bytes: 1024},
 			}
 		default:
-			return []rank.Op{
-				{Kind: rank.OpCommSplit, Comm: 0, Color: 1},
-				{Kind: rank.OpCompute, Dur: 40 * vtime.Microsecond},
-				{Kind: rank.OpBarrier, Comm: 1},
+			return []scenario.Op{
+				{Kind: scenario.OpCommSplit, Comm: 0, Color: 1},
+				{Kind: scenario.OpCompute, Dur: 40 * vtime.Microsecond},
+				{Kind: scenario.OpBarrier, Comm: 1},
 			}
 		}
-	}
+	})
 	cfg.Triggers = []Trigger{{At: vtime.Time(20 * vtime.Microsecond)}}
 	c := New(cfg)
 	outcome, err := c.Run()

@@ -4,7 +4,7 @@ import (
 	"runtime"
 	"testing"
 
-	"mana/internal/rank"
+	"mana/internal/scenario"
 	"mana/internal/vtime"
 )
 
@@ -20,19 +20,19 @@ func idleHeavyConfig(ranks int) Config {
 	cfg.Ranks = ranks
 	cfg.StragglerP = 0
 	cfg.Triggers = nil
-	cfg.ScriptFor = func(id int) []rank.Op {
+	cfg.Programs = scenario.PerRank(cfg.Ranks, func(id int) []scenario.Op {
 		if id == 0 {
-			script := make([]rank.Op, 0, 2*(ranks-1))
+			script := make([]scenario.Op, 0, 2*(ranks-1))
 			for d := 1; d < ranks; d++ {
 				script = append(script,
-					rank.Op{Kind: rank.OpCompute, Dur: 1 * vtime.Microsecond},
-					rank.Op{Kind: rank.OpSend, Peer: d, Bytes: 1024, Tag: d},
+					scenario.Op{Kind: scenario.OpCompute, Dur: 1 * vtime.Microsecond},
+					scenario.Op{Kind: scenario.OpSend, Peer: d, Bytes: 1024, Tag: d},
 				)
 			}
 			return script
 		}
-		return []rank.Op{{Kind: rank.OpRecv, Peer: 0, Tag: id}}
-	}
+		return []scenario.Op{{Kind: scenario.OpRecv, Peer: 0, Tag: id}}
+	})
 	return cfg
 }
 
@@ -47,20 +47,20 @@ func TestBlockedRanksConsumeZeroSchedulerWork(t *testing.T) {
 	cfg.Ranks = 3
 	cfg.StragglerP = 0
 	cfg.Triggers = nil
-	cfg.ScriptFor = func(id int) []rank.Op {
+	cfg.Programs = scenario.PerRank(cfg.Ranks, func(id int) []scenario.Op {
 		if id == 0 {
-			script := make([]rank.Op, 0, computePhases+2)
+			script := make([]scenario.Op, 0, computePhases+2)
 			for i := 0; i < computePhases; i++ {
-				script = append(script, rank.Op{Kind: rank.OpCompute, Dur: 1 * vtime.Microsecond})
+				script = append(script, scenario.Op{Kind: scenario.OpCompute, Dur: 1 * vtime.Microsecond})
 			}
 			script = append(script,
-				rank.Op{Kind: rank.OpSend, Peer: 1, Bytes: 64},
-				rank.Op{Kind: rank.OpSend, Peer: 2, Bytes: 64},
+				scenario.Op{Kind: scenario.OpSend, Peer: 1, Bytes: 64},
+				scenario.Op{Kind: scenario.OpSend, Peer: 2, Bytes: 64},
 			)
 			return script
 		}
-		return []rank.Op{{Kind: rank.OpRecv, Peer: 0}}
-	}
+		return []scenario.Op{{Kind: scenario.OpRecv, Peer: 0}}
+	})
 	c := New(cfg)
 	outcome, err := c.Run()
 	if err != nil || outcome != Completed {
@@ -169,27 +169,26 @@ func BenchmarkScheduler64Ranks(b *testing.B) { benchScheduler(b, 64, 0) }
 func benchOverlapDrain(b *testing.B, overlap bool) {
 	b.ReportAllocs()
 	const ranks, steps = 64, 6
-	wl := rank.OverlapWorkload(ranks, steps, 11)
-	wl.GroupSize = 8
+	wl := scenario.MustPrograms("overlap", scenario.Params{Ranks: ranks, Steps: steps, Seed: 11, Group: 8})
 	mkConfig := func() Config {
 		cfg := DefaultConfig()
 		cfg.Ranks = ranks
 		cfg.StragglerP = 0
 		cfg.Seed = 11
-		cfg.Workload = wl
 		if overlap {
+			cfg.Programs = wl
 			cfg.Triggers = []Trigger{{At: vtime.Time(300 * vtime.Microsecond), FormingColls: 2}}
 			return cfg
 		}
-		cfg.ScriptFor = func(id int) []rank.Op {
-			ops := rank.GenerateScript(id, wl)
-			serial := make([]rank.Op, 0, len(ops)-2)
+		cfg.Programs = scenario.PerRank(ranks, func(id int) []scenario.Op {
+			ops := wl[id]
+			serial := make([]scenario.Op, 0, len(ops)-2)
 			for _, op := range ops[2:] { // drop the comm-splits
 				op.Comm = 0 // every collective runs over the world communicator
 				serial = append(serial, op)
 			}
 			return serial
-		}
+		})
 		cfg.Triggers = []Trigger{{At: vtime.Time(300 * vtime.Microsecond), MidCollective: true}}
 		return cfg
 	}

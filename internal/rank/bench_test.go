@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"mana/internal/kernelsim"
+	"mana/internal/scenario"
 	"mana/internal/virtid"
 	"mana/internal/vtime"
 )
@@ -18,9 +19,9 @@ import (
 // address-space size.
 func benchCheckpointCapture(b *testing.B, incremental bool) {
 	b.ReportAllocs()
-	script := make([]Op, b.N+1)
+	script := make([]scenario.Op, b.N+1)
 	for i := range script {
-		script[i] = Op{Kind: OpCompute, Dur: 10 * vtime.Microsecond}
+		script[i] = scenario.Op{Kind: scenario.OpCompute, Dur: 10 * vtime.Microsecond}
 	}
 	net := testNet()
 	r := New(0, kernelsim.Patched, virtid.ImplSharded, script)

@@ -4,15 +4,16 @@ import (
 	"testing"
 
 	"mana/internal/kernelsim"
+	"mana/internal/scenario"
 	"mana/internal/virtid"
 	"mana/internal/vtime"
 )
 
 // computeScript returns n compute phases of 1ms each.
-func computeScript(n int) []Op {
-	script := make([]Op, n)
+func computeScript(n int) []scenario.Op {
+	script := make([]scenario.Op, n)
 	for i := range script {
-		script[i] = Op{Kind: OpCompute, Dur: 1 * vtime.Millisecond}
+		script[i] = scenario.Op{Kind: scenario.OpCompute, Dur: 1 * vtime.Millisecond}
 	}
 	return script
 }
@@ -44,7 +45,7 @@ func TestIncrementalCaptureFallsBackToFull(t *testing.T) {
 // the delta is an order of magnitude smaller than the full image.
 func TestIncrementalOverlayRestoresExactState(t *testing.T) {
 	net := testNet()
-	script := append(computeScript(6), Op{Kind: OpSbrk, Bytes: 128 << 10})
+	script := append(computeScript(6), scenario.Op{Kind: scenario.OpSbrk, Bytes: 128 << 10})
 	script = append(script, computeScript(4)...)
 
 	r := New(0, kernelsim.Unpatched, virtid.ImplSharded, script)
@@ -140,10 +141,10 @@ func TestOverlayChainValidation(t *testing.T) {
 // the newest chain link alone decides the restored rank's bookkeeping.
 func TestIncrementalImageCarriesSmallState(t *testing.T) {
 	net := testNet()
-	r := New(0, kernelsim.Patched, virtid.ImplSharded, []Op{
-		{Kind: OpIsend, Peer: 1, Bytes: 64, Tag: 0},
-		{Kind: OpCompute, Dur: 1 * vtime.Millisecond},
-		{Kind: OpWait},
+	r := New(0, kernelsim.Patched, virtid.ImplSharded, []scenario.Op{
+		{Kind: scenario.OpIsend, Peer: 1, Bytes: 64, Tag: 0},
+		{Kind: scenario.OpCompute, Dur: 1 * vtime.Millisecond},
+		{Kind: scenario.OpWait},
 	})
 	r.CaptureImage(true) // full base
 	r.Execute(net)       // isend: request now live

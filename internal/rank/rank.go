@@ -33,76 +33,10 @@ import (
 	"mana/internal/kernelsim"
 	"mana/internal/memsim"
 	"mana/internal/netsim"
+	"mana/internal/scenario"
 	"mana/internal/virtid"
 	"mana/internal/vtime"
 )
-
-// OpKind identifies one scripted workload operation.
-type OpKind int
-
-const (
-	OpCompute OpKind = iota
-	OpSend
-	OpRecv
-	// OpIsend is a nonblocking send: it injects the message immediately
-	// and registers a request handle in the virtualisation table that
-	// stays live until the matching OpWait retires it.
-	OpIsend
-	// OpWait completes the oldest outstanding nonblocking operation,
-	// translating and deregistering its request handle.
-	OpWait
-	OpBarrier
-	OpAllreduce
-	OpSbrk
-	// OpCommSplit is MPI_Comm_split over the parent communicator slot
-	// Comm, contributing Color: a collective that, on completion, mints a
-	// new sub-communicator handle (registered in the virtualisation
-	// table) in the next free communicator slot of every participant that
-	// supplied the same colour.
-	OpCommSplit
-)
-
-// String returns a short name for the op kind.
-func (k OpKind) String() string {
-	switch k {
-	case OpCompute:
-		return "compute"
-	case OpSend:
-		return "send"
-	case OpRecv:
-		return "recv"
-	case OpIsend:
-		return "isend"
-	case OpWait:
-		return "wait"
-	case OpBarrier:
-		return "barrier"
-	case OpAllreduce:
-		return "allreduce"
-	case OpSbrk:
-		return "sbrk"
-	case OpCommSplit:
-		return "comm-split"
-	default:
-		return "unknown"
-	}
-}
-
-// Op is one scripted operation. Which fields are meaningful depends on
-// Kind: Dur for compute, Peer+Bytes+Tag for send/recv, Bytes for
-// allreduce payload and sbrk growth. Comm selects the communicator slot
-// the operation runs over (0 is MPI_COMM_WORLD; slots above 0 are
-// sub-communicators in the order the rank's comm-splits created them),
-// and Color is the rank's colour contribution to an OpCommSplit.
-type Op struct {
-	Kind  OpKind
-	Dur   vtime.Duration
-	Peer  int
-	Bytes uint64
-	Tag   int
-	Comm  int
-	Color int
-}
 
 // State is the rank's scheduler-visible execution state.
 type State int
@@ -245,7 +179,7 @@ type Rank struct {
 	clock  *vtime.Clock
 	mem    *memsim.AddressSpace
 	kernel *kernelsim.Kernel
-	script []Op
+	script scenario.Program
 	pc     int
 	state  State
 
@@ -314,13 +248,15 @@ const (
 )
 
 // New returns a rank with an initialised split-process address space,
-// the selected handle-virtualisation table and the given workload
-// script. The upper half models the application, its libc and its
-// link-time MPI library; the lower half models the bootstrap program and
-// the active network stack. The world communicator and the workload's
-// datatype are registered in the virtualisation table exactly as MANA
-// wraps MPI_Init: the application only ever sees their virtual ids.
-func New(id int, personality kernelsim.Personality, impl virtid.Impl, script []Op) *Rank {
+// the selected handle-virtualisation table and the given program — the
+// rank's complete op stream, from a compiled scenario spec, a recorded
+// trace, or built directly by a test. The upper half models the
+// application, its libc and its link-time MPI library; the lower half
+// models the bootstrap program and the active network stack. The world
+// communicator and the workload's datatype are registered in the
+// virtualisation table exactly as MANA wraps MPI_Init: the application
+// only ever sees their virtual ids.
+func New(id int, personality kernelsim.Personality, impl virtid.Impl, script scenario.Program) *Rank {
 	r := &Rank{
 		id:     id,
 		clock:  vtime.NewClock(0),
@@ -436,7 +372,7 @@ func (r *Rank) ChargeCkptOverhead(d vtime.Duration) {
 
 // Op returns the rank's current scripted operation. It panics if the
 // script is exhausted; callers must check State first.
-func (r *Rank) Op() Op {
+func (r *Rank) Op() scenario.Op {
 	if r.pc >= len(r.script) {
 		panic(fmt.Sprintf("rank %d: Op() past end of script", r.id))
 	}
@@ -526,7 +462,7 @@ func (r *Rank) writeStateMarker() {
 
 // DoCompute executes a compute op: advance the clock by the phase
 // duration and touch application memory.
-func (r *Rank) DoCompute(op Op) {
+func (r *Rank) DoCompute(op scenario.Op) {
 	r.clock.Advance(op.Dur)
 	r.stats.ComputeTime += op.Dur
 	r.writeStateMarker()
@@ -539,7 +475,7 @@ func (r *Rank) DoCompute(op Op) {
 // (one lookup per translated handle, metadata record for the drain
 // counters), inject the message with a piggybacked timestamp, and occupy
 // the sender for the serialisation time.
-func (r *Rank) DoSend(net *netsim.Network, op Op) *netsim.Message {
+func (r *Rank) DoSend(net *netsim.Network, op scenario.Op) *netsim.Message {
 	r.translate(virtid.Comm, r.commHandle(op.Comm))
 	r.translate(virtid.Datatype, r.dtype)
 	r.chargeMPICall(virtid.LookupCounts{Comm: 1, Datatype: 1}, 0, true)
@@ -557,7 +493,7 @@ func (r *Rank) DoSend(net *netsim.Network, op Op) *netsim.Message {
 // pending FIFO, both part of the checkpoint image — until the matching
 // wait retires it. The message itself is on the wire immediately; only
 // its completion handle is outstanding.
-func (r *Rank) DoIsend(net *netsim.Network, op Op) *netsim.Message {
+func (r *Rank) DoIsend(net *netsim.Network, op scenario.Op) *netsim.Message {
 	r.translate(virtid.Comm, r.commHandle(op.Comm))
 	r.translate(virtid.Datatype, r.dtype)
 	req := r.postRequest()
@@ -593,7 +529,7 @@ func (r *Rank) DoWait() {
 // off the network by the checkpoint helper); otherwise the network queue
 // is consulted. It returns false, leaving the pc unchanged, if no
 // matching message is in flight yet — the scheduler retries later.
-func (r *Rank) TryRecv(net *netsim.Network, op Op) bool {
+func (r *Rank) TryRecv(net *netsim.Network, op scenario.Op) bool {
 	for i, m := range r.inbox {
 		if m.Src == op.Peer {
 			r.inbox = append(r.inbox[:i:i], r.inbox[i+1:]...)
@@ -642,7 +578,7 @@ const (
 type Transition struct {
 	Kind TransitionKind
 	// Op is the operation that was attempted.
-	Op Op
+	Op scenario.Op
 	// Msg is the injected message for an Advanced send (its delivery
 	// event is scheduled by the network's DeliveryScheduler hook).
 	Msg *netsim.Message
@@ -667,28 +603,28 @@ func (r *Rank) NextReady() (vtime.Time, bool) {
 func (r *Rank) Execute(net *netsim.Network) Transition {
 	op := r.Op()
 	switch op.Kind {
-	case OpCompute:
+	case scenario.OpCompute:
 		r.DoCompute(op)
 		return Transition{Kind: Advanced, Op: op}
-	case OpSend:
+	case scenario.OpSend:
 		m := r.DoSend(net, op)
 		return Transition{Kind: Advanced, Op: op, Msg: m}
-	case OpIsend:
+	case scenario.OpIsend:
 		m := r.DoIsend(net, op)
 		return Transition{Kind: Advanced, Op: op, Msg: m}
-	case OpWait:
+	case scenario.OpWait:
 		r.DoWait()
 		return Transition{Kind: Advanced, Op: op}
-	case OpRecv:
+	case scenario.OpRecv:
 		if r.TryRecv(net, op) {
 			return Transition{Kind: Advanced, Op: op}
 		}
 		r.state = BlockedRecv
 		r.blockedPeer = op.Peer
 		return Transition{Kind: BlockedOnRecv, Op: op}
-	case OpBarrier, OpAllreduce, OpCommSplit:
+	case scenario.OpBarrier, scenario.OpAllreduce, scenario.OpCommSplit:
 		return Transition{Kind: JoinedCollective, Op: op, Stamp: r.ArriveAtCollective()}
-	case OpSbrk:
+	case scenario.OpSbrk:
 		r.DoSbrk(op)
 		return Transition{Kind: Advanced, Op: op}
 	default:
@@ -736,7 +672,7 @@ func (r *Rank) ArriveAtCollective() vtime.Stamp {
 	op := r.Op()
 	lookups := virtid.LookupCounts{Comm: 1}
 	r.translate(virtid.Comm, r.commHandle(op.Comm))
-	if op.Kind == OpAllreduce {
+	if op.Kind == scenario.OpAllreduce {
 		r.translate(virtid.Datatype, r.dtype)
 		lookups.Datatype = 1
 	}
@@ -770,7 +706,7 @@ func (r *Rank) FinishCommSplit(completion vtime.Time, commID int, real virtid.Re
 	if r.state != InCollective {
 		panic(fmt.Sprintf("rank %d: FinishCommSplit in state %v", r.id, r.state))
 	}
-	if r.Op().Kind != OpCommSplit {
+	if r.Op().Kind != scenario.OpCommSplit {
 		panic(fmt.Sprintf("rank %d: FinishCommSplit while waiting in %v", r.id, r.Op().Kind))
 	}
 	r.clock.AdvanceTo(completion)
@@ -790,7 +726,7 @@ func (r *Rank) FinishCommSplit(completion vtime.Time, commID int, real virtid.Re
 
 // DoSbrk executes a heap-growth op through the simulated address space,
 // charging the syscall cost.
-func (r *Rank) DoSbrk(op Op) memsim.SbrkResult {
+func (r *Rank) DoSbrk(op scenario.Op) memsim.SbrkResult {
 	r.clock.Advance(r.kernel.SyscallCost())
 	res := r.mem.Sbrk(op.Bytes)
 	r.pc++

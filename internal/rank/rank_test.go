@@ -6,6 +6,7 @@ import (
 	"mana/internal/kernelsim"
 	"mana/internal/memsim"
 	"mana/internal/netsim"
+	"mana/internal/scenario"
 	"mana/internal/virtid"
 	"mana/internal/vtime"
 )
@@ -15,7 +16,7 @@ func testNet() *netsim.Network {
 }
 
 func TestMPICallChargesManaOverhead(t *testing.T) {
-	script := []Op{{Kind: OpSend, Peer: 1, Bytes: 0, Tag: 0}}
+	script := []scenario.Op{{Kind: scenario.OpSend, Peer: 1, Bytes: 0, Tag: 0}}
 	r := New(0, kernelsim.Unpatched, virtid.ImplSharded, script)
 	k := kernelsim.NewForTable(kernelsim.Unpatched, virtid.ImplSharded)
 	r.DoSend(testNet(), script[0])
@@ -43,7 +44,7 @@ func TestMPICallChargesManaOverhead(t *testing.T) {
 }
 
 func TestPatchedKernelCheaperPerCall(t *testing.T) {
-	script := []Op{{Kind: OpSend, Peer: 1, Bytes: 0}}
+	script := []scenario.Op{{Kind: scenario.OpSend, Peer: 1, Bytes: 0}}
 	unp := New(0, kernelsim.Unpatched, virtid.ImplSharded, script)
 	pat := New(0, kernelsim.Patched, virtid.ImplSharded, script)
 	unp.DoSend(testNet(), script[0])
@@ -56,8 +57,8 @@ func TestPatchedKernelCheaperPerCall(t *testing.T) {
 
 func TestRecvObservesPiggybackedArrival(t *testing.T) {
 	net := testNet()
-	sender := New(0, kernelsim.Patched, virtid.ImplSharded, []Op{{Kind: OpCompute, Dur: 10 * vtime.Millisecond}, {Kind: OpSend, Peer: 1, Bytes: 1000}})
-	receiver := New(1, kernelsim.Patched, virtid.ImplSharded, []Op{{Kind: OpRecv, Peer: 0}})
+	sender := New(0, kernelsim.Patched, virtid.ImplSharded, []scenario.Op{{Kind: scenario.OpCompute, Dur: 10 * vtime.Millisecond}, {Kind: scenario.OpSend, Peer: 1, Bytes: 1000}})
+	receiver := New(1, kernelsim.Patched, virtid.ImplSharded, []scenario.Op{{Kind: scenario.OpRecv, Peer: 0}})
 
 	// Receiver posts first: nothing in flight yet.
 	if receiver.TryRecv(net, receiver.Op()) {
@@ -78,7 +79,7 @@ func TestRecvObservesPiggybackedArrival(t *testing.T) {
 }
 
 func TestCollectiveArriveFinish(t *testing.T) {
-	r := New(0, kernelsim.Patched, virtid.ImplSharded, []Op{{Kind: OpBarrier}})
+	r := New(0, kernelsim.Patched, virtid.ImplSharded, []scenario.Op{{Kind: scenario.OpBarrier}})
 	stamp := r.ArriveAtCollective()
 	if r.State() != InCollective {
 		t.Fatalf("state after arrive = %v, want in-collective", r.State())
@@ -101,10 +102,10 @@ func TestCollectiveArriveFinish(t *testing.T) {
 
 func TestImageRoundTripRestoresExactState(t *testing.T) {
 	net := testNet()
-	script := []Op{
-		{Kind: OpCompute, Dur: 1 * vtime.Millisecond},
-		{Kind: OpSbrk, Bytes: 128 << 10},
-		{Kind: OpCompute, Dur: 2 * vtime.Millisecond},
+	script := []scenario.Op{
+		{Kind: scenario.OpCompute, Dur: 1 * vtime.Millisecond},
+		{Kind: scenario.OpSbrk, Bytes: 128 << 10},
+		{Kind: scenario.OpCompute, Dur: 2 * vtime.Millisecond},
 	}
 	r := New(0, kernelsim.Unpatched, virtid.ImplSharded, script)
 	r.DoCompute(script[0])
@@ -140,8 +141,8 @@ func TestImageRoundTripRestoresExactState(t *testing.T) {
 
 func TestDrainedInboxSurvivesCheckpointAndFeedsRecv(t *testing.T) {
 	net := testNet()
-	sender := New(0, kernelsim.Patched, virtid.ImplSharded, []Op{{Kind: OpSend, Peer: 1, Bytes: 500, Tag: 9}})
-	receiver := New(1, kernelsim.Patched, virtid.ImplSharded, []Op{{Kind: OpRecv, Peer: 0, Tag: 9}})
+	sender := New(0, kernelsim.Patched, virtid.ImplSharded, []scenario.Op{{Kind: scenario.OpSend, Peer: 1, Bytes: 500, Tag: 9}})
+	receiver := New(1, kernelsim.Patched, virtid.ImplSharded, []scenario.Op{{Kind: scenario.OpRecv, Peer: 0, Tag: 9}})
 	sender.DoSend(net, sender.Op())
 
 	// Checkpoint-time drain: the in-flight message is buffered at the
@@ -176,9 +177,9 @@ func TestDrainedInboxSurvivesCheckpointAndFeedsRecv(t *testing.T) {
 
 func TestStatsRestoredFromImage(t *testing.T) {
 	net := testNet()
-	script := []Op{
-		{Kind: OpSend, Peer: 1, Bytes: 100},
-		{Kind: OpSend, Peer: 1, Bytes: 100},
+	script := []scenario.Op{
+		{Kind: scenario.OpSend, Peer: 1, Bytes: 100},
+		{Kind: scenario.OpSend, Peer: 1, Bytes: 100},
 	}
 	r := New(0, kernelsim.Unpatched, virtid.ImplSharded, script)
 	r.DoSend(net, script[0])
@@ -195,17 +196,17 @@ func TestStatsRestoredFromImage(t *testing.T) {
 
 func TestExecuteTransitions(t *testing.T) {
 	net := testNet()
-	r := New(0, kernelsim.Patched, virtid.ImplSharded, []Op{
-		{Kind: OpCompute, Dur: 1 * vtime.Millisecond},
-		{Kind: OpRecv, Peer: 1},
-		{Kind: OpBarrier},
+	r := New(0, kernelsim.Patched, virtid.ImplSharded, []scenario.Op{
+		{Kind: scenario.OpCompute, Dur: 1 * vtime.Millisecond},
+		{Kind: scenario.OpRecv, Peer: 1},
+		{Kind: scenario.OpBarrier},
 	})
 
 	if tm, ok := r.NextReady(); !ok || tm != 0 {
 		t.Fatalf("NextReady = (%v, %v), want (0, true)", tm, ok)
 	}
 	tr := r.Execute(net)
-	if tr.Kind != Advanced || tr.Op.Kind != OpCompute {
+	if tr.Kind != Advanced || tr.Op.Kind != scenario.OpCompute {
 		t.Fatalf("compute transition = %+v, want Advanced/compute", tr)
 	}
 	if tm, ok := r.NextReady(); !ok || tm != r.Clock().Now() {
@@ -237,7 +238,7 @@ func TestExecuteTransitions(t *testing.T) {
 	}
 
 	// A wake after the matching send completes the receive.
-	sender := New(1, kernelsim.Patched, virtid.ImplSharded, []Op{{Kind: OpSend, Peer: 0, Bytes: 100}})
+	sender := New(1, kernelsim.Patched, virtid.ImplSharded, []scenario.Op{{Kind: scenario.OpSend, Peer: 0, Bytes: 100}})
 	sender.Execute(net)
 	if !r.Wake(net) {
 		t.Fatal("Wake failed with a matching message in flight")
@@ -268,13 +269,13 @@ func TestExecuteTransitions(t *testing.T) {
 
 func TestWakeConsumesInboxBeforeNetwork(t *testing.T) {
 	net := testNet()
-	r := New(1, kernelsim.Patched, virtid.ImplSharded, []Op{{Kind: OpRecv, Peer: 0}})
+	r := New(1, kernelsim.Patched, virtid.ImplSharded, []scenario.Op{{Kind: scenario.OpRecv, Peer: 0}})
 	if tr := r.Execute(net); tr.Kind != BlockedOnRecv {
 		t.Fatalf("transition = %+v, want BlockedOnRecv", tr)
 	}
 	// A checkpoint drain buffers the message into the inbox while the
 	// rank is blocked; the wake must find it there.
-	sender := New(0, kernelsim.Patched, virtid.ImplSharded, []Op{{Kind: OpSend, Peer: 1, Bytes: 64}})
+	sender := New(0, kernelsim.Patched, virtid.ImplSharded, []scenario.Op{{Kind: scenario.OpSend, Peer: 1, Bytes: 64}})
 	sender.Execute(net)
 	for _, m := range net.DrainTo(1) {
 		r.BufferDrained(m)
@@ -290,54 +291,14 @@ func TestWakeConsumesInboxBeforeNetwork(t *testing.T) {
 	}
 }
 
-func TestGenerateScriptSPMDCollectives(t *testing.T) {
-	cfg := DefaultWorkload(4, 20, 7)
-	var wantColl []OpKind
-	for id := 0; id < cfg.Ranks; id++ {
-		script := GenerateScript(id, cfg)
-		var coll []OpKind
-		for _, op := range script {
-			if op.Kind == OpBarrier || op.Kind == OpAllreduce {
-				coll = append(coll, op.Kind)
-			}
-		}
-		if id == 0 {
-			wantColl = coll
-			if len(coll) == 0 {
-				t.Fatal("workload generates no collectives")
-			}
-			continue
-		}
-		if len(coll) != len(wantColl) {
-			t.Fatalf("rank %d has %d collectives, rank 0 has %d (non-SPMD)", id, len(coll), len(wantColl))
-		}
-		for i := range coll {
-			if coll[i] != wantColl[i] {
-				t.Fatalf("rank %d collective %d is %v, rank 0 has %v", id, i, coll[i], wantColl[i])
-			}
-		}
-	}
-	// Same seed, same script; the generator is deterministic.
-	a := GenerateScript(2, cfg)
-	b := GenerateScript(2, cfg)
-	if len(a) != len(b) {
-		t.Fatalf("script lengths differ across identical calls: %d vs %d", len(a), len(b))
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatalf("op %d differs across identical calls: %+v vs %+v", i, a[i], b[i])
-		}
-	}
-}
-
 // TestIsendWaitRequestLifecycle pins the nonblocking request handle
 // lifecycle: Isend registers a live request in the virtualisation table,
 // the matching Wait translates it once more and retires it for good.
 func TestIsendWaitRequestLifecycle(t *testing.T) {
 	net := testNet()
-	r := New(0, kernelsim.Patched, virtid.ImplSharded, []Op{
-		{Kind: OpIsend, Peer: 1, Bytes: 100, Tag: 1},
-		{Kind: OpWait},
+	r := New(0, kernelsim.Patched, virtid.ImplSharded, []scenario.Op{
+		{Kind: scenario.OpIsend, Peer: 1, Bytes: 100, Tag: 1},
+		{Kind: scenario.OpWait},
 	})
 	r.DoIsend(net, r.Op())
 	pending := r.PendingRequests()
@@ -377,7 +338,7 @@ func TestIsendWaitRequestLifecycle(t *testing.T) {
 // wait side: waiting with nothing outstanding is a virtualisation bug,
 // not a silent no-op.
 func TestWaitWithoutRequestPanics(t *testing.T) {
-	r := New(0, kernelsim.Patched, virtid.ImplSharded, []Op{{Kind: OpWait}})
+	r := New(0, kernelsim.Patched, virtid.ImplSharded, []scenario.Op{{Kind: scenario.OpWait}})
 	defer func() {
 		if recover() == nil {
 			t.Error("DoWait with no outstanding request did not panic")
@@ -391,7 +352,7 @@ func TestWaitWithoutRequestPanics(t *testing.T) {
 // from the table (here: maliciously deregistered) is a loud failure, not
 // a silently wrong cost charge.
 func TestSendPanicsOnMissingHandle(t *testing.T) {
-	r := New(0, kernelsim.Patched, virtid.ImplSharded, []Op{{Kind: OpSend, Peer: 1, Bytes: 64}})
+	r := New(0, kernelsim.Patched, virtid.ImplSharded, []scenario.Op{{Kind: scenario.OpSend, Peer: 1, Bytes: 64}})
 	snap := r.Virtid().Snapshot()
 	if len(snap.Entries[virtid.Comm]) != 1 {
 		t.Fatalf("expected exactly one registered communicator, got %d", len(snap.Entries[virtid.Comm]))
@@ -415,11 +376,11 @@ func TestVirtidRebuiltFromImageAndStaleHandlesDie(t *testing.T) {
 	for _, impl := range []virtid.Impl{virtid.ImplMutex, virtid.ImplSharded} {
 		t.Run(impl.String(), func(t *testing.T) {
 			net := testNet()
-			script := []Op{
-				{Kind: OpIsend, Peer: 1, Bytes: 64, Tag: 0},
-				{Kind: OpWait},
-				{Kind: OpIsend, Peer: 1, Bytes: 64, Tag: 1},
-				{Kind: OpWait},
+			script := []scenario.Op{
+				{Kind: scenario.OpIsend, Peer: 1, Bytes: 64, Tag: 0},
+				{Kind: scenario.OpWait},
+				{Kind: scenario.OpIsend, Peer: 1, Bytes: 64, Tag: 1},
+				{Kind: scenario.OpWait},
 			}
 			r := New(0, kernelsim.Patched, impl, script)
 			r.Execute(net) // first isend: request live across the checkpoint
@@ -491,10 +452,10 @@ func TestImageVirtSnapshotMatchesTable(t *testing.T) {
 // table so that a restored rank still resolves the sub-communicator —
 // while a split minted after the image dies with its timeline.
 func TestCommSplitMintsSlotAndSurvivesImage(t *testing.T) {
-	script := []Op{
-		{Kind: OpCommSplit, Comm: 0, Color: 3},
-		{Kind: OpBarrier, Comm: 1},
-		{Kind: OpCommSplit, Comm: 0, Color: 1},
+	script := []scenario.Op{
+		{Kind: scenario.OpCommSplit, Comm: 0, Color: 3},
+		{Kind: scenario.OpBarrier, Comm: 1},
+		{Kind: scenario.OpCommSplit, Comm: 0, Color: 1},
 	}
 	r := New(0, kernelsim.Patched, virtid.ImplSharded, script)
 	if got := r.CommCount(); got != 1 {
@@ -502,7 +463,7 @@ func TestCommSplitMintsSlotAndSurvivesImage(t *testing.T) {
 	}
 
 	tr := r.Execute(testNet())
-	if tr.Kind != JoinedCollective || tr.Op.Kind != OpCommSplit || tr.Op.Color != 3 {
+	if tr.Kind != JoinedCollective || tr.Op.Kind != scenario.OpCommSplit || tr.Op.Color != 3 {
 		t.Fatalf("split arrival transition = %+v, want joined-collective comm-split colour 3", tr)
 	}
 	writesBefore := r.Stats().HandleWrites
@@ -549,49 +510,5 @@ func TestCommSplitMintsSlotAndSurvivesImage(t *testing.T) {
 	}
 	if got := r.Virtid().Len(virtid.Comm); got != 2 {
 		t.Errorf("restored live comm handles = %d, want 2", got)
-	}
-}
-
-// TestOverlapScriptShape pins the overlap workload generator: two
-// world splits first, collectives target slots 1 and 2, all ranks share
-// the same per-communicator collective sequence, and the staggered
-// second grouping straddles two first-grouping communicators.
-func TestOverlapScriptShape(t *testing.T) {
-	cfg := OverlapWorkload(8, 4, 42)
-	for id := 0; id < cfg.Ranks; id++ {
-		script := GenerateScript(id, cfg)
-		if script[0].Kind != OpCommSplit || script[1].Kind != OpCommSplit {
-			t.Fatalf("rank %d: script does not open with two comm-splits", id)
-		}
-		if script[0].Color != id/4 || script[1].Color != (id+2)/4 {
-			t.Errorf("rank %d: split colours %d/%d, want %d/%d",
-				id, script[0].Color, script[1].Color, id/4, (id+2)/4)
-		}
-		var allreduces, barriers int
-		for _, op := range script[2:] {
-			switch op.Kind {
-			case OpCommSplit:
-				t.Fatalf("rank %d: comm-split after the prologue", id)
-			case OpAllreduce:
-				if op.Comm != 1 {
-					t.Errorf("rank %d: allreduce on slot %d, want 1", id, op.Comm)
-				}
-				allreduces++
-			case OpBarrier:
-				if op.Comm != 2 {
-					t.Errorf("rank %d: barrier on slot %d, want 2", id, op.Comm)
-				}
-				barriers++
-			}
-		}
-		if allreduces != cfg.Steps || barriers != cfg.Steps {
-			t.Errorf("rank %d: %d allreduces / %d barriers, want %d each", id, allreduces, barriers, cfg.Steps)
-		}
-	}
-	// Rank 2 sits in first-group 0 but second-group 1: the second layout
-	// genuinely overlaps the first.
-	s2 := GenerateScript(2, cfg)
-	if s2[0].Color != 0 || s2[1].Color != 1 {
-		t.Errorf("rank 2 colours %d/%d, want 0/1 (staggered grouping must straddle)", s2[0].Color, s2[1].Color)
 	}
 }

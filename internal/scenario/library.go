@@ -1,0 +1,55 @@
+package scenario
+
+import (
+	"embed"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// The spec library ships the workloads the CI determinism matrix runs.
+// Each file in specs/ is a complete Spec whose name matches its file
+// name; adding a workload to the simulator is adding a JSON file here
+// (or pointing -spec at one outside the tree) — no Go required.
+//
+//go:embed specs/*.json
+var libraryFS embed.FS
+
+// Names lists the library specs in sorted order.
+func Names() []string {
+	entries, err := libraryFS.ReadDir("specs")
+	if err != nil {
+		panic(fmt.Sprintf("scenario: embedded spec library unreadable: %v", err))
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, strings.TrimSuffix(e.Name(), ".json"))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// IsLibrary reports whether name identifies a shipped library spec.
+func IsLibrary(name string) bool {
+	_, err := libraryFS.ReadFile("specs/" + name + ".json")
+	return err == nil
+}
+
+// Load parses a library spec by name.
+func Load(name string) (*Spec, error) {
+	data, err := libraryFS.ReadFile("specs/" + name + ".json")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: no library spec %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	return Parse(data)
+}
+
+// LoadFile parses a spec from a file on disk.
+func LoadFile(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: reading spec: %w", err)
+	}
+	return Parse(data)
+}

@@ -1,0 +1,101 @@
+// Package scenario turns declarative workload specifications into the
+// per-rank operation streams the simulated MPI ranks execute.
+//
+// A Spec describes a workload's shape as data — communicator splits,
+// phases, per-step communication patterns, compute and message-size
+// distributions, checkpoint-trigger policy — parsed from a small JSON
+// schema whose validation errors name the offending field. Compile turns
+// a Spec into one Program per rank: an explicit, fully materialised op
+// stream. Compilation is deterministic (same spec, same Params, same
+// programs, bit for bit), which is what lets the simulator's determinism
+// guarantees extend to data-defined workloads.
+//
+// The package also defines a trace format (WriteTrace/ReadTrace): a
+// recorded per-rank op stream that replays a prior run exactly, without
+// the spec that produced it.
+package scenario
+
+import "mana/internal/vtime"
+
+// OpKind identifies one scripted workload operation.
+type OpKind int
+
+const (
+	OpCompute OpKind = iota
+	OpSend
+	OpRecv
+	// OpIsend is a nonblocking send: it injects the message immediately
+	// and registers a request handle in the virtualisation table that
+	// stays live until the matching OpWait retires it.
+	OpIsend
+	// OpWait completes the oldest outstanding nonblocking operation,
+	// translating and deregistering its request handle.
+	OpWait
+	OpBarrier
+	OpAllreduce
+	OpSbrk
+	// OpCommSplit is MPI_Comm_split over the parent communicator slot
+	// Comm, contributing Color: a collective that, on completion, mints a
+	// new sub-communicator handle (registered in the virtualisation
+	// table) in the next free communicator slot of every participant that
+	// supplied the same colour.
+	OpCommSplit
+)
+
+// String returns a short name for the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpCompute:
+		return "compute"
+	case OpSend:
+		return "send"
+	case OpRecv:
+		return "recv"
+	case OpIsend:
+		return "isend"
+	case OpWait:
+		return "wait"
+	case OpBarrier:
+		return "barrier"
+	case OpAllreduce:
+		return "allreduce"
+	case OpSbrk:
+		return "sbrk"
+	case OpCommSplit:
+		return "comm-split"
+	default:
+		return "unknown"
+	}
+}
+
+// Op is one scripted operation. Which fields are meaningful depends on
+// Kind: Dur for compute, Peer+Bytes+Tag for send/recv, Bytes for
+// allreduce payload and sbrk growth. Comm selects the communicator slot
+// the operation runs over (0 is MPI_COMM_WORLD; slots above 0 are
+// sub-communicators in the order the rank's comm-splits created them),
+// and Color is the rank's colour contribution to an OpCommSplit.
+type Op struct {
+	Kind  OpKind
+	Dur   vtime.Duration
+	Peer  int
+	Bytes uint64
+	Tag   int
+	Comm  int
+	Color int
+}
+
+// Program is one rank's fully materialised op stream — the only script
+// source the rank runtime consumes. Programs come from Spec compilation
+// or from a recorded trace; tests build them directly (see PerRank).
+type Program []Op
+
+// PerRank builds one Program per rank from a function. It is the
+// programmatic escape hatch tests use to stage precise protocol
+// situations that no declarative spec should have to express.
+func PerRank(ranks int, f func(id int) []Op) []Program {
+	progs := make([]Program, ranks)
+	for id := range progs {
+		progs[id] = f(id)
+	}
+	return progs
+}
