@@ -40,7 +40,8 @@ fmt:
 	gofmt -w .
 
 # bench runs every benchmark, including the scheduler-scaling set
-# (BenchmarkScheduler{64,512,4096}Ranks in internal/coordinator).
+# (BenchmarkScheduler{64,512,4096,65536}Ranks in internal/coordinator;
+# the 65536-rank variants run serial and island-parallel).
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
@@ -86,7 +87,9 @@ smoke:
 
 # smoke-matrix mirrors CI's determinism matrix: every combination of
 # handle-table implementation, image mode and library scenario spec runs
-# twice at 512 ranks and must print byte-identical reports.
+# twice at 512 ranks and must print byte-identical reports — and once
+# more with the sharded parallel scheduler (-islands 8 -workers 4),
+# which must reproduce the serial report byte for byte.
 smoke-matrix:
 	$(GO) build -o /tmp/manasim-matrix ./cmd/manasim
 	@set -e; \
@@ -99,6 +102,10 @@ smoke-matrix:
 	      /tmp/manasim-matrix -virtid $$virtid $$inc -spec $$spec \
 	        -ranks 512 -steps 5 -ckpt-at 200us -no-fail > /tmp/manasim-matrix2.txt; \
 	      cmp /tmp/manasim-matrix1.txt /tmp/manasim-matrix2.txt; \
+	      /tmp/manasim-matrix -virtid $$virtid $$inc -spec $$spec \
+	        -ranks 512 -steps 5 -ckpt-at 200us -no-fail \
+	        -islands 8 -workers 4 > /tmp/manasim-matrix3.txt; \
+	      cmp /tmp/manasim-matrix1.txt /tmp/manasim-matrix3.txt; \
 	    done; \
 	  done; \
 	done

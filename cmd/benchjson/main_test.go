@@ -115,7 +115,7 @@ func resultsOf(pairs map[string]float64) []Result {
 func TestCheckPassesWithinThreshold(t *testing.T) {
 	base := baselineOf(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 50})
 	fresh := resultsOf(map[string]float64{"BenchmarkA": 120, "BenchmarkB": 40})
-	if errs := check(fresh, base, 0.30, 0); len(errs) != 0 {
+	if errs, _ := check(fresh, base, 0.30, 0); len(errs) != 0 {
 		t.Errorf("check failed within threshold: %v", errs)
 	}
 }
@@ -123,7 +123,7 @@ func TestCheckPassesWithinThreshold(t *testing.T) {
 func TestCheckFlagsRegression(t *testing.T) {
 	base := baselineOf(map[string]float64{"BenchmarkA": 100})
 	fresh := resultsOf(map[string]float64{"BenchmarkA": 131})
-	errs := check(fresh, base, 0.30, 0)
+	errs, _ := check(fresh, base, 0.30, 0)
 	if len(errs) != 1 {
 		t.Fatalf("check returned %d errors, want 1 regression: %v", len(errs), errs)
 	}
@@ -132,16 +132,19 @@ func TestCheckFlagsRegression(t *testing.T) {
 	}
 }
 
-func TestCheckFlagsStaleNameSets(t *testing.T) {
+// TestCheckNameSetDrift pins the asymmetry in how the name sets are
+// compared: a baseline entry that did not run is an error (the artifact
+// is stale), while a fresh benchmark missing from the artifact is only
+// a note — a newly added benchmark is not a regression.
+func TestCheckNameSetDrift(t *testing.T) {
 	base := baselineOf(map[string]float64{"BenchmarkGone": 100, "BenchmarkKept": 10})
 	fresh := resultsOf(map[string]float64{"BenchmarkKept": 10, "BenchmarkNew": 5})
-	errs := check(fresh, base, 0.30, 0)
-	if len(errs) != 2 {
-		t.Fatalf("check returned %d errors, want 2 staleness findings: %v", len(errs), errs)
+	errs, notes := check(fresh, base, 0.30, 0)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "BenchmarkGone") {
+		t.Fatalf("check errors = %v, want exactly the stale BenchmarkGone entry", errs)
 	}
-	joined := errs[0].Error() + errs[1].Error()
-	if !strings.Contains(joined, "BenchmarkGone") || !strings.Contains(joined, "BenchmarkNew") {
-		t.Errorf("staleness findings do not name both drifted benchmarks: %v", errs)
+	if len(notes) != 1 || !strings.Contains(notes[0], "BenchmarkNew") || !strings.Contains(notes[0], "not a regression") {
+		t.Fatalf("check notes = %v, want BenchmarkNew reported as new, not a regression", notes)
 	}
 }
 
@@ -156,14 +159,14 @@ func TestCheckSkipsTooShortMeasurements(t *testing.T) {
 		{Name: "BenchmarkNano", Iterations: 1, NsPerOp: 9000}, // overhead-dominated
 		{Name: "BenchmarkMacro", Iterations: 1, NsPerOp: 5e6}, // real 5x regression
 	}
-	errs := check(fresh, base, 0.30, 100_000)
+	errs, _ := check(fresh, base, 0.30, 100_000)
 	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "BenchmarkMacro") {
 		t.Fatalf("check = %v, want exactly the macro regression", errs)
 	}
 	// With enough iterations the nano benchmark's window is meaningful
 	// again and its regression is flagged.
 	fresh[0].Iterations = 1_000_000
-	errs = check(fresh, base, 0.30, 100_000)
+	errs, _ = check(fresh, base, 0.30, 100_000)
 	if len(errs) != 2 {
 		t.Fatalf("check = %v, want both regressions once the window is sufficient", errs)
 	}
@@ -193,5 +196,14 @@ func TestRunCheckAgainstFile(t *testing.T) {
 	// Empty input is always an error: the benchmarks did not run.
 	if err := runCheck(strings.NewReader("PASS\n"), &diag, baseline, 0.30, 0); err == nil {
 		t.Error("runCheck accepted empty bench output")
+	}
+	// A benchmark the artifact has never seen passes with a note.
+	grown := sampleBenchOutput + "BenchmarkBrandNew-1	100	42.0 ns/op\n"
+	diag.Reset()
+	if err := runCheck(strings.NewReader(grown), &diag, baseline, 0.30, 0); err != nil {
+		t.Errorf("runCheck failed on a new benchmark: %v\n%s", err, diag.String())
+	}
+	if !strings.Contains(diag.String(), "BenchmarkBrandNew") || !strings.Contains(diag.String(), "not a regression") {
+		t.Errorf("new benchmark not surfaced informationally:\n%s", diag.String())
 	}
 }

@@ -35,6 +35,13 @@
 //	                     [-workload default|overlap]
 //	                     [-ckpt-at 5ms] [-fail-after 2] [-no-fail]
 //	                     [-incremental] [-full-every 4]
+//	                     [-islands 8] [-workers 4]
+//
+// -islands and -workers select the sharded parallel scheduler: ranks
+// are partitioned across island event lanes and drained by that many
+// goroutines inside conservative lookahead windows. Both are pure
+// performance knobs — the report is byte-identical for every setting,
+// which the smoke matrix verifies.
 package main
 
 import (
@@ -71,6 +78,8 @@ type scenarioOpts struct {
 	NoFail      bool
 	Incremental bool
 	FullEvery   int
+	Islands     int
+	Workers     int
 
 	RanksSet    bool
 	StepsSet    bool
@@ -78,6 +87,7 @@ type scenarioOpts struct {
 	TraceSet    bool
 	WorkloadSet bool
 	GroupSet    bool
+	IslandsSet  bool
 }
 
 // defaultScenario mirrors the flag defaults; the golden test pins its
@@ -94,6 +104,7 @@ func defaultScenario() scenarioOpts {
 		CkptAt:    5 * time.Millisecond,
 		FailAfter: 2,
 		FullEvery: 4,
+		Workers:   1,
 	}
 }
 
@@ -169,6 +180,12 @@ func buildConfig(s scenarioOpts) (coordinator.Config, error) {
 	if s.FullEvery < 0 {
 		return cfg, fmt.Errorf("-full-every must be non-negative (got %d)", s.FullEvery)
 	}
+	if s.Islands < 0 {
+		return cfg, fmt.Errorf("-islands must be non-negative (got %d)", s.Islands)
+	}
+	if s.Workers < 1 {
+		return cfg, fmt.Errorf("-workers must be at least 1 (got %d)", s.Workers)
+	}
 
 	cfg = coordinator.DefaultConfig()
 	cfg.Ranks = s.Ranks
@@ -177,6 +194,8 @@ func buildConfig(s scenarioOpts) (coordinator.Config, error) {
 	cfg.Seed = s.Seed
 	cfg.Incremental = s.Incremental
 	cfg.FullImageEvery = s.FullEvery
+	cfg.Islands = s.Islands
+	cfg.Workers = s.Workers
 
 	if s.TraceSet {
 		// A trace fixes the job completely; flags that shape a compiled
@@ -208,6 +227,9 @@ func buildConfig(s scenarioOpts) (coordinator.Config, error) {
 		if !s.NoFail {
 			cfg.FailAtCheckpoint = s.FailAfter
 		}
+		if s.Workers > 1 && cfg.Islands <= 1 {
+			return cfg, fmt.Errorf("-workers %d has no effect without -islands of at least 2 (workers drain island lanes in parallel)", s.Workers)
+		}
 		return cfg, nil
 	}
 
@@ -236,6 +258,15 @@ func buildConfig(s scenarioOpts) (coordinator.Config, error) {
 	cfg.Triggers = triggersFrom(spec.Checkpoints, vtime.Time(s.CkptAt))
 	if !s.NoFail {
 		cfg.FailAtCheckpoint = s.FailAfter
+	}
+	if !s.IslandsSet && spec.Islands > 0 {
+		// The spec's lane-count hint applies unless the CLI overrides it.
+		// Like the flag, it is purely a performance knob: the partition
+		// never changes the report.
+		cfg.Islands = spec.Islands
+	}
+	if s.Workers > 1 && cfg.Islands <= 1 {
+		return cfg, fmt.Errorf("-workers %d has no effect without -islands of at least 2 (workers drain island lanes in parallel)", s.Workers)
 	}
 	return cfg, nil
 }
@@ -300,6 +331,8 @@ func main() {
 	flag.BoolVar(&s.NoFail, "no-fail", def.NoFail, "disable the failure/restart scenario")
 	flag.BoolVar(&s.Incremental, "incremental", def.Incremental, "write incremental (dirty-page delta) checkpoint images after the first full one")
 	flag.IntVar(&s.FullEvery, "full-every", def.FullEvery, "with -incremental, write a full image every Nth checkpoint (0 = only the first)")
+	flag.IntVar(&s.Islands, "islands", def.Islands, "partition ranks across this many event-queue lanes (0 = spec hint or serial); never changes the report")
+	flag.IntVar(&s.Workers, "workers", def.Workers, "goroutines draining island lanes in parallel windows (1 = serial); never changes the report")
 	flag.Parse()
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
@@ -315,6 +348,8 @@ func main() {
 			s.WorkloadSet = true
 		case "group":
 			s.GroupSet = true
+		case "islands":
+			s.IslandsSet = true
 		}
 	})
 

@@ -256,6 +256,9 @@ func TestBuildConfigValidation(t *testing.T) {
 		{"trace and ranks", func(s *scenarioOpts) { s.Trace = "x.trace"; s.TraceSet = true; s.RanksSet = true }},
 		{"trace and steps", func(s *scenarioOpts) { s.Trace = "x.trace"; s.TraceSet = true; s.StepsSet = true }},
 		{"missing trace file", func(s *scenarioOpts) { s.Trace = "testdata/no-such.trace"; s.TraceSet = true }},
+		{"negative islands", func(s *scenarioOpts) { s.Islands = -1; s.IslandsSet = true }},
+		{"zero workers", func(s *scenarioOpts) { s.Workers = 0 }},
+		{"workers without islands", func(s *scenarioOpts) { s.Workers = 4 }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -265,5 +268,79 @@ func TestBuildConfigValidation(t *testing.T) {
 				t.Errorf("buildConfig accepted invalid scenario %+v", s)
 			}
 		})
+	}
+}
+
+// TestIslandFlagsAreReportNeutral is the CLI-level statement of the
+// sharded scheduler's contract: -islands and -workers are pure
+// performance knobs, so every setting must reproduce the serial
+// report byte for byte.
+func TestIslandFlagsAreReportNeutral(t *testing.T) {
+	baseCfg, err := buildConfig(defaultScenario())
+	if err != nil {
+		t.Fatalf("buildConfig: %v", err)
+	}
+	base, err := runScenario(baseCfg)
+	if err != nil {
+		t.Fatalf("serial runScenario: %v", err)
+	}
+	for _, tc := range []struct {
+		name             string
+		islands, workers int
+	}{
+		{"islands only", 4, 1},
+		{"islands and workers", 8, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := defaultScenario()
+			s.Islands = tc.islands
+			s.IslandsSet = true
+			s.Workers = tc.workers
+			cfg, err := buildConfig(s)
+			if err != nil {
+				t.Fatalf("buildConfig: %v", err)
+			}
+			got, err := runScenario(cfg)
+			if err != nil {
+				t.Fatalf("runScenario: %v", err)
+			}
+			if got != base {
+				t.Errorf("-islands %d -workers %d changed the report.\n--- sharded\n%s\n--- serial\n%s",
+					tc.islands, tc.workers, got, base)
+			}
+		})
+	}
+}
+
+// TestSpecIslandsHint checks that a spec's islands field seeds the
+// partition, and that an explicit -islands flag overrides it.
+func TestSpecIslandsHint(t *testing.T) {
+	spec := filepath.Join(t.TempDir(), "hint.json")
+	body := `{
+		"name": "hint",
+		"islands": 4,
+		"phases": [{"name": "main", "steps": 2, "ops": [{"op": "compute", "mean": "1ms"}]}]
+	}`
+	if err := os.WriteFile(spec, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := defaultScenario()
+	s.Spec = spec
+	s.SpecSet = true
+	cfg, err := buildConfig(s)
+	if err != nil {
+		t.Fatalf("buildConfig: %v", err)
+	}
+	if cfg.Islands != 4 {
+		t.Errorf("spec hint not applied: cfg.Islands = %d, want 4", cfg.Islands)
+	}
+	s.Islands = 2
+	s.IslandsSet = true
+	cfg, err = buildConfig(s)
+	if err != nil {
+		t.Fatalf("buildConfig with -islands override: %v", err)
+	}
+	if cfg.Islands != 2 {
+		t.Errorf("-islands should override the spec hint: cfg.Islands = %d, want 2", cfg.Islands)
 	}
 }

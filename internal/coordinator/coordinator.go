@@ -5,12 +5,26 @@
 // state transition in the job — a rank becoming ready to execute its next
 // scripted operation, a point-to-point message arriving, a collective
 // completing, a checkpoint trigger coming due, an injected failure — is
-// an event on a single deterministic queue (vtime.EventQueue, keyed on
-// virtual time with FIFO tie-breaking). The scheduler pops events until
-// quiescence; ranks that are blocked in a receive or waiting in a
-// collective have no queued events and therefore consume zero scheduler
-// work, which is what lets the simulator scale to thousands of mostly
-// idle ranks.
+// an event on a deterministic (time, seq)-ordered queue. Ranks that are
+// blocked in a receive or waiting in a collective have no queued events
+// and therefore consume zero scheduler work, which is what lets the
+// simulator scale to thousands of mostly idle ranks.
+//
+// Events live on a sharded vtime.IslandQueues: ranks are partitioned
+// into islands (netsim topology groups when configured, contiguous
+// blocks otherwise), each island owning one event-queue lane for its
+// ranks' ready and delivery events, plus one global lane for the
+// events that touch cross-island state (collective completions,
+// checkpoint triggers, failure injection). With Config.Workers <= 1 the
+// lanes are merged into the exact single-queue order and popped one at
+// a time; with Workers > 1 the scheduler interleaves that serial mode
+// with conservative parallel windows (see window.go) in which each
+// island's worker drains its own lane up to a lookahead horizon derived
+// from the minimum cross-island network latency. Cross-island effects
+// are buffered per island and merged at the window barrier in a
+// deterministic order, so reports are byte-identical for any worker
+// count, island count and GOMAXPROCS — the property the 1-vs-N-worker
+// CI smoke pins.
 //
 // Checkpoint requests are serviced with the paper's two-phase protocol:
 //
@@ -116,6 +130,20 @@ type Config struct {
 	// self-contained full image is emitted every Nth checkpoint (1 = all
 	// full, 0 = only the first; the chain then grows without bound).
 	FullImageEvery int
+	// Islands is the number of event-queue lanes ranks are partitioned
+	// across (<= 0 means one island, the serial layout). When
+	// Net.GroupSize is set, rank r lands on island (r/GroupSize) mod
+	// Islands so a topology group is never split across islands —
+	// cross-island messages then always pay the cross-group latency the
+	// parallel lookahead is derived from. On a flat fabric the partition
+	// is contiguous blocks. The partition never changes observable
+	// output: island lanes merge into the exact single-queue order.
+	Islands int
+	// Workers is the number of goroutines draining island lanes during
+	// parallel windows (<= 1 disables parallel execution entirely).
+	// Worker count never changes observable output either, only
+	// wall-clock time.
+	Workers int
 	// Seed drives the straggler RNG (and nothing else — the scheduler
 	// itself is deterministic).
 	Seed uint64
@@ -331,10 +359,32 @@ type Coordinator struct {
 	net   *netsim.Network
 	rng   *vtime.RNG
 
-	queue *vtime.EventQueue[event]
+	// queues holds islands+1 lanes: lanes [0, islands) carry one
+	// island's ready/delivery events, lane islands (the global lane)
+	// carries collective completions, triggers and the failure event —
+	// everything that mutates cross-island state and therefore only
+	// executes at serial points.
+	queues   *vtime.IslandQueues[event]
+	islands  int
+	workers  int
+	islandOf []int // rank id -> island lane
+	// lookahead is the conservative parallel window width: no event can
+	// influence another island sooner than this far in the future
+	// (netsim.Params.CrossLookahead). Zero disables parallel windows.
+	lookahead vtime.Duration
+	// inWindow marks that worker goroutines currently own the island
+	// lanes; ScheduleDelivery routes through per-island buffers instead
+	// of merge-mode pushes while it is set. Written only while no
+	// workers run.
+	inWindow bool
+	lanebufs []laneBuf
 
 	triggers []Trigger
 	fired    []bool
+	// unfired counts triggers that have not fired yet; parallel windows
+	// require it to be zero so trigger arming (whose conditions must be
+	// re-checked after every single event) always runs serially.
+	unfired int
 	// armed holds indexes of condition triggers (MidCollective/InFlight)
 	// whose At time has passed; their conditions are re-checked after
 	// every dispatched event.
@@ -398,32 +448,65 @@ func New(cfg Config) *Coordinator {
 	if len(cfg.Programs) != cfg.Ranks {
 		panic(fmt.Sprintf("coordinator: config carries %d programs for %d ranks", len(cfg.Programs), cfg.Ranks))
 	}
+	islands := cfg.Islands
+	if islands <= 0 {
+		islands = 1
+	}
+	if islands > cfg.Ranks {
+		islands = cfg.Ranks
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > islands {
+		workers = islands
+	}
 	world := make([]int, cfg.Ranks)
 	for i := range world {
 		world[i] = i
 	}
 	c := &Coordinator{
-		cfg:        cfg,
-		net:        netsim.New(cfg.Net),
-		rng:        vtime.NewRNG(cfg.Seed),
-		queue:      vtime.NewEventQueue[event](),
+		cfg: cfg,
+		net: netsim.New(cfg.Net),
+		rng: vtime.NewRNG(cfg.Seed),
+		// One lane per island plus the global lane, each preallocated
+		// for its steady-state population (one ready event per rank).
+		queues:     vtime.NewIslandQueues[event](islands+1, cfg.Ranks/islands+16),
+		islands:    islands,
+		workers:    workers,
+		islandOf:   make([]int, cfg.Ranks),
+		lookahead:  cfg.Net.CrossLookahead(),
+		lanebufs:   make([]laneBuf, islands),
 		triggers:   append([]Trigger(nil), cfg.Triggers...),
 		fired:      make([]bool, len(cfg.Triggers)),
+		unfired:    len(cfg.Triggers),
 		ranks:      make([]*rank.Rank, 0, cfg.Ranks),
 		comms:      []comm{{members: world}},
 		colls:      make(map[int]*forming),
 		inCollComm: make([]int, cfg.Ranks),
 		held:       make(map[int]bool),
 	}
+	for id := range c.islandOf {
+		if cfg.Net.GroupSize > 0 {
+			// A topology group is never split across islands, so every
+			// cross-island message pays at least CrossLookahead.
+			c.islandOf[id] = (id / cfg.Net.GroupSize) % islands
+		} else {
+			// Flat fabric: contiguous blocks of Ranks/islands.
+			c.islandOf[id] = id * islands / cfg.Ranks
+		}
+	}
 	for i := range c.inCollComm {
 		c.inCollComm[i] = -1
 	}
 	c.net.SetDeliveryScheduler(c)
 	for i, t := range c.triggers {
-		c.queue.Push(t.At, event{kind: evTrigger, trigger: i})
+		c.queues.Push(c.globalLane(), t.At, event{kind: evTrigger, trigger: i})
 	}
 	for id := 0; id < cfg.Ranks; id++ {
 		r := rank.New(id, cfg.Personality, cfg.Virtid, cfg.Programs[id])
+		r.SetIsland(c.islandOf[id])
 		c.ranks = append(c.ranks, r)
 		if r.State() == rank.Done {
 			c.doneCount++
@@ -434,17 +517,38 @@ func New(cfg Config) *Coordinator {
 	return c
 }
 
+// globalLane is the lane index of the global (cross-island) event lane.
+func (c *Coordinator) globalLane() int { return c.islands }
+
 // ScheduleDelivery implements netsim.DeliveryScheduler: every injected
-// message becomes a delivery event at its arrival time. It is invoked by
-// the network from within the scheduler goroutine.
+// message becomes a delivery event on the receiver's island lane at its
+// arrival time. In serial mode it is invoked from the scheduler
+// goroutine; during a parallel window it is invoked from the worker
+// goroutine executing the sender, which owns the sender's lane — an
+// intra-island delivery is pushed onto that lane directly, a
+// cross-island one is buffered on the sender's island and merged at the
+// window barrier (its arrival is at or past the horizon by the
+// lookahead argument, so no worker has run past it).
 func (c *Coordinator) ScheduleDelivery(m *netsim.Message) {
-	c.queue.Push(m.Arrive, event{kind: evDelivery, msg: m})
+	lane := c.islandOf[m.Dst]
+	if c.inWindow {
+		src := c.islandOf[m.Src]
+		if src == lane {
+			c.queues.WorkerPush(lane, m.Arrive, event{kind: evDelivery, msg: m})
+		} else {
+			buf := &c.lanebufs[src]
+			buf.msgs = append(buf.msgs, m)
+		}
+		return
+	}
+	c.queues.Push(lane, m.Arrive, event{kind: evDelivery, msg: m})
 }
 
-// scheduleReady queues the rank's next ready event, if it has one.
+// scheduleReady queues the rank's next ready event on its island lane,
+// if it has one.
 func (c *Coordinator) scheduleReady(r *rank.Rank) {
 	if t, ok := r.NextReady(); ok {
-		c.queue.Push(t, event{kind: evRankReady, rank: r.ID()})
+		c.queues.Push(c.islandOf[r.ID()], t, event{kind: evRankReady, rank: r.ID()})
 	}
 }
 
@@ -531,6 +635,7 @@ func (c *Coordinator) allDone() bool { return c.doneCount == c.cfg.Ranks }
 // fireTrigger converts trigger i into a pending checkpoint request.
 func (c *Coordinator) fireTrigger(i int) {
 	c.fired[i] = true
+	c.unfired--
 	c.pending = append(c.pending, request{at: c.maxClock, midCollective: c.collectiveInProgress()})
 }
 
@@ -629,7 +734,7 @@ func (c *Coordinator) maybeScheduleCollectiveDone(f *forming) {
 	latest := vtime.MaxStamp(f.stamps)
 	completion := latest.When.Add(c.cfg.Net.CollectiveCost(f.kind, n, f.bytes))
 	f.scheduled = true
-	c.queue.Push(completion, event{kind: evCollectiveDone, comm: f.commID, seq: f.seq, completion: completion})
+	c.queues.Push(c.globalLane(), completion, event{kind: evCollectiveDone, comm: f.commID, seq: f.seq, completion: completion})
 }
 
 // collectiveKindOf maps a collective op onto the network cost model.
@@ -808,13 +913,14 @@ func (c *Coordinator) dispatch(ev event) (failed bool) {
 		r := c.ranks[m.Dst]
 		if peer, ok := r.BlockedOn(); ok && peer == m.Src {
 			c.rankVisits++
-			if r.Wake(c.net) {
+			if r.Wake(c.net, m.Arrive) {
 				c.afterRankProgress(r)
 			}
 		}
 		// Otherwise the receiver is not waiting for this message: it will
-		// consume it from the network (or its drained inbox) when its own
-		// ready event reaches the receive, so the event is a no-op.
+		// consume it from the network (the message has arrived by now, so
+		// the arrival gate passes) or its drained inbox when its own ready
+		// event reaches the receive, so the event is a no-op.
 	case evCollectiveDone:
 		c.completeCollective(ev.comm, ev.seq, ev.completion)
 	case evTrigger:
@@ -827,6 +933,17 @@ func (c *Coordinator) dispatch(ev event) (failed bool) {
 
 // Run drives the event loop until the job completes or the configured
 // failure injection fires. It may be called again after Restart.
+//
+// Each iteration first services checkpoint state (pending requests at a
+// safe point, drain-plan construction otherwise) — always serially.
+// Then, when the job is in a parallel-eligible phase (workers
+// configured, no pending or draining checkpoint, no armed or unfired
+// trigger), it tries to run one conservative window in which every
+// island lane is drained concurrently up to the lookahead horizon; when
+// the window cannot make progress (the next event is on the global
+// lane) or the phase is not eligible, it falls back to popping a single
+// event in the exact merged (time, seq) order — byte-identical to the
+// single-queue scheduler.
 func (c *Coordinator) Run() (Outcome, error) {
 	for {
 		for len(c.pending) > 0 && c.atSafePoint() {
@@ -846,7 +963,11 @@ func (c *Coordinator) Run() (Outcome, error) {
 			if got := c.net.InFlight(); got != 0 {
 				return Failed, fmt.Errorf("coordinator: job done with %d unreceived messages", got)
 			}
+			c.sweepStaleDeliveries()
 			return Completed, nil
+		}
+		if c.parallelEligible() && c.runWindow() {
+			continue
 		}
 		ev, ok := c.pop()
 		if !ok {
@@ -870,9 +991,41 @@ func (c *Coordinator) Run() (Outcome, error) {
 	}
 }
 
-// pop removes the earliest event from the queue.
+// sweepStaleDeliveries pops the island-lane events still queued when
+// the last rank finishes. They are all delivery events whose message
+// was already consumed — the receiver reached its receive at or after
+// the arrival time and took the message off the network queue before
+// the wake event's turn came — and dispatching them would be a no-op:
+// every rank is done, so there is no blocked receiver to wake. They are
+// popped and counted anyway so that the events counter equals the total
+// number of island events ever pushed in this timeline. A serial run
+// and a parallel window reach the completion point having popped
+// different subsets of these no-ops (a window drains every lane event
+// below its horizon; the single-event loop stops at the completing
+// event), and sweeping the remainder is what makes the reported event
+// count identical for any island count, worker count and window
+// schedule. Unfired triggers on the global lane are left alone — they
+// are not part of any timeline's event flow.
+func (c *Coordinator) sweepStaleDeliveries() {
+	for lane := 0; lane < c.islands; lane++ {
+		q := c.queues.Lane(lane)
+		for {
+			_, ev, ok := q.Pop()
+			if !ok {
+				break
+			}
+			if ev.kind != evDelivery {
+				panic(fmt.Sprintf("coordinator: event kind %d queued on island lane %d after completion", ev.kind, lane))
+			}
+			c.events++
+		}
+	}
+}
+
+// pop removes the globally earliest event across all lanes — the exact
+// order the old single-queue scheduler popped in.
 func (c *Coordinator) pop() (event, bool) {
-	_, ev, ok := c.queue.Pop()
+	_, _, ev, ok := c.queues.PopMin()
 	if ok {
 		c.events++
 	}
@@ -1071,8 +1224,11 @@ func (c *Coordinator) checkpoint() error {
 
 	if c.cfg.FailAtCheckpoint == rec.Seq {
 		// The failure is an event like everything else: it fires FailDelay
-		// of virtual time after the commit point.
-		c.queue.Push(rec.SafeAt.Add(c.cfg.FailDelay), event{kind: evFail})
+		// of virtual time after the commit point. It lives on the global
+		// lane, so parallel windows never run past it — exactly the
+		// events a serial run would have processed before the failure
+		// are processed before it here.
+		c.queues.Push(c.globalLane(), rec.SafeAt.Add(c.cfg.FailDelay), event{kind: evFail})
 	}
 	return nil
 }
@@ -1120,10 +1276,10 @@ func (c *Coordinator) Restart() error {
 	// rescheduled so they can still come due in the new timeline.
 	c.pending = nil
 	c.armed = c.armed[:0]
-	c.queue.Clear()
+	c.queues.Clear()
 	for i, t := range c.triggers {
 		if !c.fired[i] {
-			c.queue.Push(t.At, event{kind: evTrigger, trigger: i})
+			c.queues.Push(c.globalLane(), t.At, event{kind: evTrigger, trigger: i})
 		}
 	}
 	c.doneCount = 0

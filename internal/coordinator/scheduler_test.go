@@ -229,3 +229,95 @@ func BenchmarkOverlapDrain(b *testing.B) {
 // room for map growth while still catching any new per-event allocation.
 func BenchmarkScheduler512Ranks(b *testing.B)  { benchScheduler(b, 512, 1.0) }
 func BenchmarkScheduler4096Ranks(b *testing.B) { benchScheduler(b, 4096, 0) }
+
+// islandBenchConfig builds the island-scaling scenario: one topology
+// group per island, a send/recv ring inside each group, and a leader
+// exchange between neighbouring groups every fourth step. Unlike the
+// idle-heavy scenario (whose single busy rank is inherently serial),
+// every island carries equal load, so the workload parallelises across
+// workers while the cross-group lookahead keeps windows wide. The ops
+// are pure message traffic — no compute phases — so 65536-rank runs do
+// not materialise 4 GiB of per-rank state regions.
+func islandBenchConfig(ranks, islands, workers int) Config {
+	const steps = 8
+	groupSize := ranks / islands
+	cfg := DefaultConfig()
+	cfg.Ranks = ranks
+	cfg.StragglerP = 0
+	cfg.Triggers = nil
+	cfg.Net.GroupSize = groupSize
+	cfg.Net.CrossGroupLatency = 10 * vtime.Microsecond
+	cfg.Islands = islands
+	cfg.Workers = workers
+	nGroups := ranks / groupSize
+	cfg.Programs = scenario.PerRank(ranks, func(id int) []scenario.Op {
+		g := id / groupSize
+		base := g * groupSize
+		next := base + (id-base+1)%groupSize
+		prev := base + (id-base+groupSize-1)%groupSize
+		ops := make([]scenario.Op, 0, 2*steps+4)
+		for s := 0; s < steps; s++ {
+			ops = append(ops,
+				scenario.Op{Kind: scenario.OpSend, Peer: next, Bytes: 256, Tag: s},
+				scenario.Op{Kind: scenario.OpRecv, Peer: prev, Tag: s},
+			)
+			if id == base && nGroups > 1 && s%4 == 3 {
+				nextLeader := ((g + 1) % nGroups) * groupSize
+				prevLeader := ((g + nGroups - 1) % nGroups) * groupSize
+				ops = append(ops,
+					scenario.Op{Kind: scenario.OpSend, Peer: nextLeader, Bytes: 128, Tag: 1000 + s},
+					scenario.Op{Kind: scenario.OpRecv, Peer: prevLeader, Tag: 1000 + s},
+				)
+			}
+		}
+		return ops
+	})
+	return cfg
+}
+
+// benchIslands measures the island scheduler end to end, serial or
+// parallel, with the same steady-state allocation assertion as
+// benchScheduler: queue storage and window scratch are reused across
+// events and windows, so per-event allocations stay bounded by the
+// network messages the workload injects.
+func benchIslands(b *testing.B, ranks, islands, workers int, maxAllocsPerEvent float64) {
+	b.ReportAllocs()
+	var ms runtime.MemStats
+	var runAllocs, runEvents uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := New(islandBenchConfig(ranks, islands, workers))
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		startAllocs := ms.Mallocs
+		b.StartTimer()
+		outcome, err := c.Run()
+		b.StopTimer()
+		runtime.ReadMemStats(&ms)
+		runAllocs += ms.Mallocs - startAllocs
+		runEvents += c.EventsDispatched()
+		b.StartTimer()
+		if err != nil || outcome != Completed {
+			b.Fatalf("Run = %v, %v", outcome, err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(c.RankVisits()), "rank-visits")
+			b.ReportMetric(float64(c.EventsDispatched()), "events")
+		}
+	}
+	b.StopTimer()
+	if perEvent := float64(runAllocs) / float64(runEvents); maxAllocsPerEvent > 0 && perEvent > maxAllocsPerEvent {
+		b.Errorf("steady-state allocations = %.2f/event (%d allocs over %d events), want <= %.2f/event",
+			perEvent, runAllocs, runEvents, maxAllocsPerEvent)
+	}
+}
+
+// BenchmarkScheduler65536Ranks pins the 64Ki-rank scale target. The
+// serial variant carries the allocs/op assertion (roughly half the
+// events are sends at one netsim.Message allocation each); the 4-worker
+// variant records the parallel wall-clock on the same partition, so the
+// BENCH_sched.json artifact tracks the serial-vs-parallel trajectory.
+func BenchmarkScheduler65536Ranks(b *testing.B) { benchIslands(b, 65536, 16, 1, 1.0) }
+func BenchmarkScheduler65536Ranks4Workers(b *testing.B) {
+	benchIslands(b, 65536, 16, 4, 0)
+}

@@ -33,6 +33,18 @@ type Params struct {
 	// size s occupies the sender for s/Bandwidth seconds before the wire
 	// latency applies.
 	BandwidthBytesPerSec float64
+	// GroupSize partitions ranks into contiguous topology groups of this
+	// many ranks each (rank r belongs to group r/GroupSize): the fabric
+	// analogue of an electrical group / leaf switch. Zero means a flat
+	// fabric with no groups. Groups are also the island scheduler's
+	// partition: ranks in the same group share an event-queue lane.
+	GroupSize int
+	// CrossGroupLatency is the EXTRA one-way latency a message pays when
+	// src and dst are in different groups (spine hop). It is the island
+	// scheduler's conservative lookahead: no cross-group message can
+	// arrive sooner than Latency+CrossGroupLatency after it is sent, so
+	// islands may run that far ahead without coordination.
+	CrossGroupLatency vtime.Duration
 }
 
 // DefaultParams resembles a commodity HPC fabric: ~1.5 us latency,
@@ -51,6 +63,37 @@ func (p Params) SerializeCost(bytes uint64) vtime.Duration {
 		return 0
 	}
 	return vtime.DurationOf(float64(bytes) / p.BandwidthBytesPerSec)
+}
+
+// GroupOf returns the topology group of a rank, or 0 on a flat fabric.
+func (p Params) GroupOf(rank int) int {
+	if p.GroupSize <= 0 {
+		return 0
+	}
+	return rank / p.GroupSize
+}
+
+// WireLatency returns the one-way latency between two ranks: the base
+// Latency, plus CrossGroupLatency when they sit in different groups.
+func (p Params) WireLatency(src, dst int) vtime.Duration {
+	l := p.Latency
+	if p.GroupSize > 0 && p.GroupOf(src) != p.GroupOf(dst) {
+		l += p.CrossGroupLatency
+	}
+	return l
+}
+
+// CrossLookahead returns the minimum one-way latency of any message that
+// crosses a group boundary — the island scheduler's conservative
+// lookahead window. An event executed at time t can only influence
+// another island at t+CrossLookahead or later, so islands may run
+// [t, t+CrossLookahead) concurrently. On a flat fabric every rank pair
+// is potentially one hop apart, so the lookahead is the base Latency.
+func (p Params) CrossLookahead() vtime.Duration {
+	if p.GroupSize > 0 {
+		return p.Latency + p.CrossGroupLatency
+	}
+	return p.Latency
 }
 
 // CollectiveKind identifies a modelled collective operation.
@@ -229,7 +272,7 @@ func (n *Network) Send(src, dst, tag int, bytes uint64, sent vtime.Stamp) (*Mess
 		Tag:    tag,
 		Bytes:  bytes,
 		Sent:   sent,
-		Arrive: sent.When.Add(busy + n.params.Latency),
+		Arrive: sent.When.Add(busy + n.params.WireLatency(src, dst)),
 	}
 	p := Pair{Src: src, Dst: dst}
 	n.queues[p] = append(n.queues[p], m)
@@ -248,14 +291,23 @@ func (n *Network) Send(src, dst, tag int, bytes uint64, sent vtime.Stamp) (*Mess
 	return m, busy
 }
 
-// Recv pops the oldest in-flight message from src to dst, preserving MPI's
-// per-pair non-overtaking order. It returns nil if none is in flight.
-func (n *Network) Recv(dst, src int) *Message {
+// Recv pops the oldest in-flight message from src to dst that has
+// arrived by the given virtual time, preserving MPI's per-pair
+// non-overtaking order. It returns nil if no message from src has both
+// been sent and arrived — a message becomes visible to its receiver at
+// m.Arrive, never earlier. That arrival gate is what makes the island
+// scheduler's lookahead sound: a send can only influence another island
+// once its wire latency has elapsed, so islands may run a full
+// CrossLookahead apart without observing each other's in-progress work.
+// (Per-pair arrival order equals send order: every message on a pair
+// traverses the same wire, so the FIFO head is always the earliest
+// arrival.)
+func (n *Network) Recv(dst, src int, by vtime.Time) *Message {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	p := Pair{Src: src, Dst: dst}
 	q := n.queues[p]
-	if len(q) == 0 {
+	if len(q) == 0 || q[0].Arrive > by {
 		return nil
 	}
 	m := q[0]

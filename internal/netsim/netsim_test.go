@@ -35,13 +35,14 @@ func TestRecvFIFOPerPair(t *testing.T) {
 	s := vtime.Stamp{Rank: 0, When: 0}
 	m1, _ := n.Send(0, 1, 0, 10, s)
 	m2, _ := n.Send(0, 1, 1, 10, s)
-	if got := n.Recv(1, 0); got.Seq != m1.Seq {
+	by := vtime.Time(1 * vtime.Millisecond)
+	if got := n.Recv(1, 0, by); got.Seq != m1.Seq {
 		t.Errorf("first recv got seq %d, want %d (non-overtaking order)", got.Seq, m1.Seq)
 	}
-	if got := n.Recv(1, 0); got.Seq != m2.Seq {
+	if got := n.Recv(1, 0, by); got.Seq != m2.Seq {
 		t.Errorf("second recv got seq %d, want %d", got.Seq, m2.Seq)
 	}
-	if got := n.Recv(1, 0); got != nil {
+	if got := n.Recv(1, 0, by); got != nil {
 		t.Errorf("empty queue recv = %+v, want nil", got)
 	}
 }
@@ -58,7 +59,7 @@ func TestCountersTrackInFlight(t *testing.T) {
 	if got := n.InFlightTo(1); got != 3 {
 		t.Fatalf("InFlightTo(1) = %d, want 3", got)
 	}
-	n.Recv(1, 0)
+	n.Recv(1, 0, vtime.Time(1*vtime.Millisecond))
 	if got := n.InFlight(); got != 2 {
 		t.Fatalf("InFlight after recv = %d, want 2", got)
 	}
@@ -105,7 +106,7 @@ func TestRestoreResetsQueuesAndCounters(t *testing.T) {
 	n := New(testParams())
 	s := vtime.Stamp{Rank: 0, When: 0}
 	n.Send(0, 1, 0, 10, s)
-	n.Recv(1, 0)
+	n.Recv(1, 0, vtime.Time(1*vtime.Millisecond))
 	saved := n.CountersSnapshot()
 	n.Send(0, 1, 0, 10, s)
 	n.Send(1, 0, 0, 10, s)
@@ -177,5 +178,77 @@ func TestSerializeCostZeroBandwidth(t *testing.T) {
 	p := Params{Latency: 0, BandwidthBytesPerSec: 0}
 	if got := p.SerializeCost(1 << 20); got != 0 {
 		t.Errorf("zero-bandwidth serialize cost = %v, want 0", got)
+	}
+}
+
+func TestTopologyGroups(t *testing.T) {
+	p := Params{
+		Latency:           1000 * vtime.Nanosecond,
+		GroupSize:         4,
+		CrossGroupLatency: 5000 * vtime.Nanosecond,
+	}
+	if got := p.GroupOf(0); got != 0 {
+		t.Errorf("GroupOf(0) = %d, want 0", got)
+	}
+	if got := p.GroupOf(3); got != 0 {
+		t.Errorf("GroupOf(3) = %d, want 0", got)
+	}
+	if got := p.GroupOf(4); got != 1 {
+		t.Errorf("GroupOf(4) = %d, want 1", got)
+	}
+	// Intra-group pays base latency; cross-group pays the spine hop too.
+	if got := p.WireLatency(0, 3); got != p.Latency {
+		t.Errorf("intra-group WireLatency = %v, want %v", got, p.Latency)
+	}
+	if got, want := p.WireLatency(0, 4), p.Latency+p.CrossGroupLatency; got != want {
+		t.Errorf("cross-group WireLatency = %v, want %v", got, want)
+	}
+	if got, want := p.CrossLookahead(), p.Latency+p.CrossGroupLatency; got != want {
+		t.Errorf("CrossLookahead = %v, want %v", got, want)
+	}
+
+	// Flat fabric: no groups, lookahead collapses to the base latency.
+	flat := Params{Latency: 1000 * vtime.Nanosecond}
+	if got := flat.GroupOf(17); got != 0 {
+		t.Errorf("flat GroupOf = %d, want 0", got)
+	}
+	if got := flat.WireLatency(0, 17); got != flat.Latency {
+		t.Errorf("flat WireLatency = %v, want %v", got, flat.Latency)
+	}
+	if got := flat.CrossLookahead(); got != flat.Latency {
+		t.Errorf("flat CrossLookahead = %v, want %v", got, flat.Latency)
+	}
+}
+
+func TestRecvArrivalGate(t *testing.T) {
+	n := New(testParams())
+	s := vtime.Stamp{Rank: 0, When: 0}
+	m, _ := n.Send(0, 1, 0, 1000, s)
+	if got := n.Recv(1, 0, m.Arrive.Add(-vtime.Nanosecond)); got != nil {
+		t.Fatalf("Recv before arrival = %+v, want nil", got)
+	}
+	if got := n.InFlight(); got != 1 {
+		t.Fatalf("gated recv consumed the message: in flight = %d, want 1", got)
+	}
+	if got := n.Recv(1, 0, m.Arrive); got == nil || got.Seq != m.Seq {
+		t.Fatalf("Recv at arrival = %+v, want seq %d", got, m.Seq)
+	}
+}
+
+func TestSendCrossGroupArrival(t *testing.T) {
+	p := Params{
+		Latency:           1000 * vtime.Nanosecond,
+		GroupSize:         2,
+		CrossGroupLatency: 9000 * vtime.Nanosecond,
+	}
+	n := New(p)
+	sent := vtime.Stamp{When: vtime.Time(0).Add(100 * vtime.Nanosecond)}
+	intra, _ := n.Send(0, 1, 7, 0, sent)
+	if got, want := intra.Arrive, sent.When.Add(p.Latency); got != want {
+		t.Errorf("intra-group arrival = %v, want %v", got, want)
+	}
+	cross, _ := n.Send(0, 2, 7, 0, sent)
+	if got, want := cross.Arrive, sent.When.Add(p.Latency+p.CrossGroupLatency); got != want {
+		t.Errorf("cross-group arrival = %v, want %v", got, want)
 	}
 }

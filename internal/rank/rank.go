@@ -175,7 +175,12 @@ func (img Image) FullBytes() uint64 {
 
 // Rank is one simulated MPI process.
 type Rank struct {
-	id     int
+	id int
+	// island is the scheduler island (event-queue lane) this rank's
+	// events run on; assigned once by the coordinator's partitioning
+	// rule and never changed, so a rank's whole lifetime stays on one
+	// worker goroutine.
+	island int
 	clock  *vtime.Clock
 	mem    *memsim.AddressSpace
 	kernel *kernelsim.Kernel
@@ -299,6 +304,14 @@ func (r *Rank) InitLowerHalf() {
 
 // ID returns the rank's MPI rank number.
 func (r *Rank) ID() int { return r.id }
+
+// Island returns the scheduler island this rank is pinned to.
+func (r *Rank) Island() int { return r.island }
+
+// SetIsland pins the rank to a scheduler island. The coordinator calls
+// this once at construction; the affinity must not change mid-run (the
+// rank's events would migrate between worker goroutines).
+func (r *Rank) SetIsland(island int) { r.island = island }
 
 // Clock returns the rank's virtual clock.
 func (r *Rank) Clock() *vtime.Clock { return r.clock }
@@ -524,12 +537,17 @@ func (r *Rank) DoWait() {
 	r.pc++
 }
 
-// TryRecv attempts to execute a recv op. Drain-buffered inbox messages
-// from the requested peer are consumed first (they were already received
-// off the network by the checkpoint helper); otherwise the network queue
-// is consulted. It returns false, leaving the pc unchanged, if no
-// matching message is in flight yet — the scheduler retries later.
-func (r *Rank) TryRecv(net *netsim.Network, op scenario.Op) bool {
+// TryRecv attempts to execute a recv op at virtual time by. Drain-
+// buffered inbox messages from the requested peer are consumed first,
+// with no arrival gate — they were already received off the network by
+// the checkpoint helper and live in the rank's own buffer. Otherwise
+// the network queue is consulted, which only yields messages that have
+// arrived by the given time: a rank can never observe a message before
+// its wire latency has elapsed, which is both the physical semantics
+// and the property the island scheduler's lookahead window relies on.
+// It returns false, leaving the pc unchanged, if no matching message is
+// visible yet — the message's delivery event wakes the rank later.
+func (r *Rank) TryRecv(net *netsim.Network, op scenario.Op, by vtime.Time) bool {
 	for i, m := range r.inbox {
 		if m.Src == op.Peer {
 			r.inbox = append(r.inbox[:i:i], r.inbox[i+1:]...)
@@ -537,7 +555,7 @@ func (r *Rank) TryRecv(net *netsim.Network, op scenario.Op) bool {
 			return true
 		}
 	}
-	m := net.Recv(r.id, op.Peer)
+	m := net.Recv(r.id, op.Peer, by)
 	if m == nil {
 		return false
 	}
@@ -616,7 +634,7 @@ func (r *Rank) Execute(net *netsim.Network) Transition {
 		r.DoWait()
 		return Transition{Kind: Advanced, Op: op}
 	case scenario.OpRecv:
-		if r.TryRecv(net, op) {
+		if r.TryRecv(net, op, r.clock.Now()) {
 			return Transition{Kind: Advanced, Op: op}
 		}
 		r.state = BlockedRecv
@@ -642,17 +660,18 @@ func (r *Rank) BlockedOn() (peer int, ok bool) {
 }
 
 // Wake retries the blocked receive after a delivery (or a checkpoint
-// drain) may have made a matching message available. It returns true if
-// the receive completed, leaving the rank Running (or Done) and ready to
-// be rescheduled; false if the rank was not blocked or still has no
-// matching message.
-func (r *Rank) Wake(net *netsim.Network) bool {
+// drain) may have made a matching message available at virtual time at
+// — for a delivery event, the message's arrival time. It returns true
+// if the receive completed, leaving the rank Running (or Done) and
+// ready to be rescheduled; false if the rank was not blocked or still
+// has no matching message.
+func (r *Rank) Wake(net *netsim.Network, at vtime.Time) bool {
 	if r.state != BlockedRecv {
 		return false
 	}
 	op := r.script[r.pc]
 	r.state = Running
-	if r.TryRecv(net, op) {
+	if r.TryRecv(net, op, at) {
 		return true
 	}
 	r.state = BlockedRecv

@@ -61,13 +61,18 @@ func TestRecvObservesPiggybackedArrival(t *testing.T) {
 	receiver := New(1, kernelsim.Patched, virtid.ImplSharded, []scenario.Op{{Kind: scenario.OpRecv, Peer: 0}})
 
 	// Receiver posts first: nothing in flight yet.
-	if receiver.TryRecv(net, receiver.Op()) {
+	if receiver.TryRecv(net, receiver.Op(), receiver.Clock().Now()) {
 		t.Fatal("TryRecv succeeded with nothing in flight")
 	}
 	sender.DoCompute(sender.Op())
 	m := sender.DoSend(net, sender.Op())
-	if !receiver.TryRecv(net, receiver.Op()) {
-		t.Fatal("TryRecv failed with a message in flight")
+	// The message is in flight but has not arrived: the receiver (clock
+	// near zero) cannot observe it yet.
+	if receiver.TryRecv(net, receiver.Op(), receiver.Clock().Now()) {
+		t.Fatal("TryRecv consumed a message before its arrival time")
+	}
+	if !receiver.TryRecv(net, receiver.Op(), m.Arrive) {
+		t.Fatal("TryRecv failed with an arrived message in flight")
 	}
 	// The receiver (clock near zero) must advance to the arrival time.
 	if got := receiver.Clock().Now(); got < m.Arrive {
@@ -163,8 +168,9 @@ func TestDrainedInboxSurvivesCheckpointAndFeedsRecv(t *testing.T) {
 
 	receiver.Restore(img)
 	// The restored receiver consumes the buffered message with no network
-	// traffic at all.
-	if !receiver.TryRecv(net, receiver.Op()) {
+	// traffic at all — and with no arrival gate: the drain already
+	// received it off the network.
+	if !receiver.TryRecv(net, receiver.Op(), receiver.Clock().Now()) {
 		t.Fatal("recv after restore failed to consume drained message")
 	}
 	if receiver.InboxLen() != 0 {
@@ -230,18 +236,18 @@ func TestExecuteTransitions(t *testing.T) {
 	}
 
 	// A wake with no matching message leaves the rank blocked.
-	if r.Wake(net) {
+	if r.Wake(net, r.Clock().Now()) {
 		t.Fatal("Wake succeeded with nothing in flight")
 	}
 	if r.State() != BlockedRecv {
 		t.Fatalf("state after failed wake = %v, want blocked-recv", r.State())
 	}
 
-	// A wake after the matching send completes the receive.
+	// A wake at the matching message's arrival time completes the receive.
 	sender := New(1, kernelsim.Patched, virtid.ImplSharded, []scenario.Op{{Kind: scenario.OpSend, Peer: 0, Bytes: 100}})
-	sender.Execute(net)
-	if !r.Wake(net) {
-		t.Fatal("Wake failed with a matching message in flight")
+	sm := sender.Execute(net)
+	if !r.Wake(net, sm.Msg.Arrive) {
+		t.Fatal("Wake failed with a matching message arrived")
 	}
 	if r.Stats().MsgsRecvd != 1 {
 		t.Errorf("MsgsRecvd = %d, want 1", r.Stats().MsgsRecvd)
@@ -280,7 +286,7 @@ func TestWakeConsumesInboxBeforeNetwork(t *testing.T) {
 	for _, m := range net.DrainTo(1) {
 		r.BufferDrained(m)
 	}
-	if !r.Wake(net) {
+	if !r.Wake(net, r.Clock().Now()) {
 		t.Fatal("Wake failed to consume the drain-buffered message")
 	}
 	if r.InboxLen() != 0 {

@@ -14,8 +14,12 @@ package vtime
 // -internal order. This is what keeps reports byte-identical across runs
 // of the same seed.
 //
-// The queue is not safe for concurrent use; the deterministic scheduler
-// drives it from a single goroutine.
+// The queue is not safe for concurrent use; a deterministic scheduler
+// drives each queue from a single goroutine at a time. In the island
+// scheduler one EventQueue is one island's lane inside an IslandQueues
+// merge layer (see islands.go), which assigns sequence numbers from a
+// shared counter so the lanes still form one global (time, seq) total
+// order.
 type EventQueue[T any] struct {
 	heap []eventEntry[T]
 	seq  uint64
@@ -32,13 +36,38 @@ func NewEventQueue[T any]() *EventQueue[T] {
 	return &EventQueue[T]{}
 }
 
+// NewEventQueueSized returns an empty queue whose heap storage is
+// preallocated for the given number of events, so a scheduler that knows
+// its steady-state population (one ready event per rank, say) never pays
+// growth reallocations on the hot path.
+func NewEventQueueSized[T any](hint int) *EventQueue[T] {
+	if hint < 0 {
+		hint = 0
+	}
+	return &EventQueue[T]{heap: make([]eventEntry[T], 0, hint)}
+}
+
 // Len returns the number of scheduled events.
 func (q *EventQueue[T]) Len() int { return len(q.heap) }
+
+// Cap returns the heap storage capacity, for tests that pin capacity
+// reuse across Clear.
+func (q *EventQueue[T]) Cap() int { return cap(q.heap) }
 
 // Push schedules v at virtual time t.
 func (q *EventQueue[T]) Push(t Time, v T) {
 	q.seq++
-	q.heap = append(q.heap, eventEntry[T]{time: t, seq: q.seq, val: v})
+	q.PushAt(t, q.seq, v)
+}
+
+// PushAt schedules v at virtual time t with a caller-assigned sequence
+// number. It is the primitive the IslandQueues merge layer builds on: the
+// caller owns the seq space and guarantees (time, seq) uniqueness and
+// that seq reflects the intended FIFO order at equal times. Mixing PushAt
+// with Push on the same queue is only meaningful if the caller's seqs are
+// coordinated with the internal counter.
+func (q *EventQueue[T]) PushAt(t Time, seq uint64, v T) {
+	q.heap = append(q.heap, eventEntry[T]{time: t, seq: seq, val: v})
 	q.siftUp(len(q.heap) - 1)
 }
 
@@ -69,10 +98,21 @@ func (q *EventQueue[T]) PeekTime() (Time, bool) {
 	return q.heap[0].time, true
 }
 
-// Clear discards every scheduled event. The sequence counter is NOT
-// reset: events pushed after a Clear still order after everything pushed
-// before it, so a restart that rebuilds the queue keeps a globally
-// consistent tie-break order.
+// PeekKey returns the (time, seq) ordering key of the earliest event
+// without removing it; false when the queue is empty. The merge layer
+// compares lane heads by this key to pop the globally earliest event.
+func (q *EventQueue[T]) PeekKey() (Time, uint64, bool) {
+	if len(q.heap) == 0 {
+		return 0, 0, false
+	}
+	return q.heap[0].time, q.heap[0].seq, true
+}
+
+// Clear discards every scheduled event but keeps the heap storage, so a
+// restart that rebuilds the queue reuses the already-grown capacity
+// instead of reallocating from zero. The sequence counter is NOT reset:
+// events pushed after a Clear still order after everything pushed before
+// it, so the rebuilt queue keeps a globally consistent tie-break order.
 func (q *EventQueue[T]) Clear() {
 	clear(q.heap) // release the payloads for GC, matching Pop
 	q.heap = q.heap[:0]

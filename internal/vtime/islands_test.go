@@ -1,0 +1,205 @@
+package vtime
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestIslandQueuesMatchesSingleQueueOrder is the merge-layer property
+// test: a random event stream partitioned across K lanes must pop in
+// exactly the (time, seq) order a single EventQueue fed the same stream
+// pops in — for any K and any partition.
+func TestIslandQueuesMatchesSingleQueueOrder(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 7, 16} {
+		for trial := 0; trial < 20; trial++ {
+			rng := rand.New(rand.NewSource(int64(1000*k + trial)))
+			single := NewEventQueue[int]()
+			iq := NewIslandQueues[int](k, 0)
+
+			n := 200 + rng.Intn(300)
+			lanes := make([]int, n)
+			for i := 0; i < n; i++ {
+				// Small time range to force heavy ties.
+				tm := Time(rng.Intn(16))
+				lane := rng.Intn(k)
+				lanes[i] = lane
+				single.Push(tm, i)
+				iq.Push(lane, tm, i)
+			}
+
+			// Interleave pops and fresh pushes to exercise mid-stream
+			// scheduling too.
+			popped := 0
+			for single.Len() > 0 {
+				wt, wv, _ := single.Pop()
+				lane, gt, gv, ok := iq.PopMin()
+				if !ok {
+					t.Fatalf("k=%d trial=%d: islands empty after %d pops, single has %d left",
+						k, trial, popped, single.Len()+1)
+				}
+				if gt != wt || gv != wv {
+					t.Fatalf("k=%d trial=%d pop %d: single=(%v,%d) islands=(%v,%d) from lane %d",
+						k, trial, popped, wt, wv, gt, gv, lane)
+				}
+				popped++
+				if rng.Intn(4) == 0 {
+					tm := Time(rng.Intn(16))
+					lane := rng.Intn(k)
+					id := n + popped
+					single.Push(tm, id)
+					iq.Push(lane, tm, id)
+				}
+			}
+			if iq.Len() != 0 {
+				t.Fatalf("k=%d trial=%d: islands kept %d events after single drained", k, trial, iq.Len())
+			}
+		}
+	}
+}
+
+// TestIslandQueuesPeekMin pins PeekMin against PopMin.
+func TestIslandQueuesPeekMin(t *testing.T) {
+	iq := NewIslandQueues[string](3, 4)
+	if _, _, ok := iq.PeekMin(); ok {
+		t.Fatal("PeekMin on empty queues reported an event")
+	}
+	iq.Push(2, 50, "late")
+	iq.Push(0, 10, "early")
+	iq.Push(1, 10, "early-tie")
+	lane, tm, ok := iq.PeekMin()
+	if !ok || lane != 0 || tm != 10 {
+		t.Fatalf("PeekMin = (%d, %v, %v), want (0, 10, true)", lane, tm, ok)
+	}
+	gl, gt, gv, _ := iq.PopMin()
+	if gl != lane || gt != tm || gv != "early" {
+		t.Fatalf("PopMin = (%d, %v, %q) disagrees with PeekMin (%d, %v)", gl, gt, gv, lane, tm)
+	}
+}
+
+// TestIslandQueuesWindowOrdering pins the window seq-block contract:
+// events pushed by workers during a window order after every pre-window
+// event at the same time, tie-break across lanes by lane index, and
+// post-window merge-mode pushes order after all window pushes.
+func TestIslandQueuesWindowOrdering(t *testing.T) {
+	iq := NewIslandQueues[string](3, 0)
+	iq.Push(1, 10, "pre-a")
+	iq.Push(0, 10, "pre-b")
+
+	iq.BeginWindow()
+	// Reverse lane order on purpose: ties must still resolve lane 0 first.
+	iq.WorkerPush(2, 10, "win-lane2")
+	iq.WorkerPush(0, 10, "win-lane0-a")
+	iq.WorkerPush(0, 10, "win-lane0-b")
+	iq.WorkerPush(1, 5, "win-earlier")
+	iq.EndWindow()
+
+	iq.Push(1, 10, "post")
+
+	want := []string{
+		"win-earlier",    // time 5 beats every time-10 event
+		"pre-a", "pre-b", // pre-window seqs are smallest at time 10
+		"win-lane0-a", "win-lane0-b", // window ties: lane 0 block first, FIFO inside
+		"win-lane2",
+		"post", // post-window counter advanced past all blocks
+	}
+	for i, w := range want {
+		_, _, got, ok := iq.PopMin()
+		if !ok || got != w {
+			t.Fatalf("pop %d = (%q, %v), want %q", i, got, ok, w)
+		}
+	}
+	if iq.Len() != 0 {
+		t.Fatalf("queue not empty after draining, Len=%d", iq.Len())
+	}
+}
+
+// TestIslandQueuesWindowMisuse pins the guard rails: merge-mode Push
+// inside a window and unbalanced EndWindow both panic.
+func TestIslandQueuesWindowMisuse(t *testing.T) {
+	iq := NewIslandQueues[int](2, 0)
+	iq.BeginWindow()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Push inside a window did not panic")
+			}
+		}()
+		iq.Push(0, 1, 1)
+	}()
+	iq.EndWindow()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("EndWindow without BeginWindow did not panic")
+			}
+		}()
+		iq.EndWindow()
+	}()
+}
+
+// TestIslandQueuesClearKeepsOrderAcrossRestart mirrors the EventQueue
+// Clear contract at the merge layer: pushes after Clear order after
+// everything pushed before it, and lane storage is reused.
+func TestIslandQueuesClearKeepsOrderAcrossRestart(t *testing.T) {
+	iq := NewIslandQueues[int](2, 0)
+	for i := 0; i < 64; i++ {
+		iq.Push(i%2, 10, i)
+	}
+	capBefore := iq.Lane(0).Cap()
+	iq.Clear()
+	if iq.Len() != 0 {
+		t.Fatalf("Len after Clear = %d, want 0", iq.Len())
+	}
+	if got := iq.Lane(0).Cap(); got != capBefore {
+		t.Fatalf("lane capacity after Clear = %d, want %d (storage reuse)", got, capBefore)
+	}
+	iq.Push(0, 10, 100)
+	iq.Push(1, 10, 101)
+	_, _, v1, _ := iq.PopMin()
+	_, _, v2, _ := iq.PopMin()
+	if v1 != 100 || v2 != 101 {
+		t.Fatalf("post-Clear pops = %d, %d; want 100, 101 (FIFO kept)", v1, v2)
+	}
+}
+
+// TestNewEventQueueSized pins the preallocation contract: the size hint
+// becomes heap capacity, and pushes within the hint never reallocate.
+func TestNewEventQueueSized(t *testing.T) {
+	q := NewEventQueueSized[int](128)
+	if q.Cap() < 128 {
+		t.Fatalf("Cap = %d, want >= 128", q.Cap())
+	}
+	capBefore := q.Cap()
+	for i := 0; i < 128; i++ {
+		q.Push(Time(i), i)
+	}
+	if q.Cap() != capBefore {
+		t.Fatalf("pushing within the hint grew capacity %d -> %d", capBefore, q.Cap())
+	}
+	if q2 := NewEventQueueSized[int](-5); q2.Cap() != 0 || q2.Len() != 0 {
+		t.Fatalf("negative hint: Cap=%d Len=%d, want 0, 0", q2.Cap(), q2.Len())
+	}
+}
+
+// TestEventQueueClearKeepsCapacity pins the satellite fix: Clear must
+// keep the grown heap storage so restart rebuilds reuse it.
+func TestEventQueueClearKeepsCapacity(t *testing.T) {
+	q := NewEventQueue[int]()
+	for i := 0; i < 1000; i++ {
+		q.Push(Time(i), i)
+	}
+	capBefore := q.Cap()
+	if capBefore < 1000 {
+		t.Fatalf("Cap = %d after 1000 pushes, want >= 1000", capBefore)
+	}
+	q.Clear()
+	if q.Cap() != capBefore {
+		t.Fatalf("Clear dropped capacity %d -> %d", capBefore, q.Cap())
+	}
+	for i := 0; i < 1000; i++ {
+		q.Push(Time(i), i)
+	}
+	if q.Cap() != capBefore {
+		t.Fatalf("refill after Clear reallocated: %d -> %d", capBefore, q.Cap())
+	}
+}

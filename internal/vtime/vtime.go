@@ -8,8 +8,16 @@
 // time. Messages piggyback the sender's timestamp so that receiving and
 // synchronising operations can advance a receiver to the causally correct
 // time (a conservative "piggyback" form of parallel discrete-event
-// simulation). Because no wall-clock time is ever consulted, all figures
-// regenerated by the benchmark harness are deterministic.
+// simulation).
+//
+// The package also provides the event-scheduling structures the
+// coordinator runs on: EventQueue, a single time-ordered lane, and
+// IslandQueues, which partitions events across per-island lanes so that
+// conservative lookahead windows can be drained by parallel workers.
+// Merged iteration over all lanes reproduces the single-queue pop order
+// exactly, so the lane count is invisible to the simulation's outputs.
+// Because no wall-clock time is ever consulted, all figures regenerated
+// by the benchmark harness are deterministic.
 package vtime
 
 import (
