@@ -7,17 +7,19 @@ GO ?= go
 BENCHTIME ?= 1s
 # BENCH_PATTERN/BENCH_PKGS select the benchmarks the BENCH_sched.json
 # artifact records: scheduler scaling, virtid contention, checkpoint
-# capture (full vs incremental image bytes) and the collective drain
-# planner (overlapping vs serialised collectives).
-BENCH_PATTERN ?= BenchmarkScheduler|BenchmarkVirtid|BenchmarkCheckpointCapture|BenchmarkSnapshotUpperHalf|BenchmarkOverlapDrain
-BENCH_PKGS ?= ./internal/coordinator ./internal/virtid ./internal/rank ./internal/memsim
+# capture (full vs incremental image bytes), the collective drain
+# planner (overlapping vs serialised collectives) and fleet throughput
+# (complete simulations per second; its runs/sec metric gates
+# higher-is-better in bench-check).
+BENCH_PATTERN ?= BenchmarkScheduler|BenchmarkVirtid|BenchmarkCheckpointCapture|BenchmarkSnapshotUpperHalf|BenchmarkOverlapDrain|BenchmarkFleetThroughput
+BENCH_PKGS ?= ./internal/coordinator ./internal/virtid ./internal/rank ./internal/memsim ./internal/fleet
 # MAX_REGRESS is bench-check's tolerated ns/op regression vs the
 # committed artifact (0.30 = 30%); CI loosens it because -benchtime=1x
 # timings are noise — only staleness and order-of-magnitude regressions
 # gate there.
 MAX_REGRESS ?= 0.30
 
-.PHONY: all build test race lint fmt bench bench-sched bench-virtid bench-json bench-check run smoke smoke-matrix
+.PHONY: all build test race lint fmt bench bench-sched bench-virtid bench-fleet bench-json bench-check run smoke smoke-matrix smoke-sweep
 
 all: build lint test
 
@@ -35,6 +37,7 @@ lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needs to be run on:"; echo "$$out"; exit 1; \
 	fi
+	$(GO) run ./cmd/isolint
 
 fmt:
 	gofmt -w .
@@ -48,6 +51,11 @@ bench:
 # bench-sched runs only the event-scheduler scaling benchmarks.
 bench-sched:
 	$(GO) test -bench='BenchmarkScheduler' -benchmem -run=^$$ ./internal/coordinator
+
+# bench-fleet runs the multi-run engine benchmarks: complete simulations
+# per second at pool widths 1/4/8, plus allocs/run warm vs cold.
+bench-fleet:
+	$(GO) test -bench='BenchmarkFleetThroughput' -benchmem -run=^$$ ./internal/fleet
 
 # bench-virtid runs the handle-virtualisation contention benchmarks:
 # MutexTable vs ShardedTable at 1/4/16 goroutines, plus request churn.
@@ -109,3 +117,22 @@ smoke-matrix:
 	    done; \
 	  done; \
 	done
+
+# smoke-sweep mirrors CI's fleet determinism check: a small -sweep grid
+# run twice, with the aggregates — cell hashes, byte counts, headline
+# metrics, compile counts — byte-identical once the wall-clock fields
+# are stripped. The cell hashes are also what ties each concurrent run
+# to its standalone counterpart (cmd/manasim's sweep tests pin that).
+smoke-sweep:
+	$(GO) build -o /tmp/manasim-sweep ./cmd/manasim
+	/tmp/manasim-sweep -sweep -steps 8 -sweep-specs default,overlap \
+	  -sweep-ranks 4,8 -sweep-ckpt 1ms -sweep-virtid sharded,mutex \
+	  -sweep-incremental false,true -sweep-workers 4 > /tmp/manasim-sweep1.json
+	/tmp/manasim-sweep -sweep -steps 8 -sweep-specs default,overlap \
+	  -sweep-ranks 4,8 -sweep-ckpt 1ms -sweep-virtid sharded,mutex \
+	  -sweep-incremental false,true -sweep-workers 1 > /tmp/manasim-sweep2.json
+	python3 -c 'import json,sys; \
+	strip=lambda d: {"cells":[{k:v for k,v in c.items() if k!="wall_ms"} for c in d["cells"]], \
+	"totals":{k:v for k,v in d["totals"].items() if k not in ("wall_ms","runs_per_sec","pool_workers")}}; \
+	a=strip(json.load(open("/tmp/manasim-sweep1.json"))); b=strip(json.load(open("/tmp/manasim-sweep2.json"))); \
+	sys.exit(0 if a==b else sys.stderr.write("sweep aggregates diverge across pool widths\n") or 1)'

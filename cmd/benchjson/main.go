@@ -15,7 +15,9 @@
 // baseline is stale (a benchmark in the artifact was not run — someone
 // removed or renamed it without regenerating BENCH_sched.json) or if
 // any benchmark's ns/op regressed beyond -max-regress (default 0.30,
-// i.e. 30%) relative to the baseline. A benchmark that ran but is not
+// i.e. 30%) relative to the baseline. Custom metrics with a "/sec"
+// unit (runs/sec, ...) are throughput figures and gate in the other
+// direction: falling more than -max-regress below the baseline fails. A benchmark that ran but is not
 // in the artifact yet is reported informationally — a newly added
 // benchmark is not a regression, and failing on it would force every
 // benchmark-adding change to regenerate the artifact on the machine
@@ -193,6 +195,23 @@ func check(results []Result, baseline Document, maxRegress, minWindowNs float64)
 		if limit := b.NsPerOp * (1 + maxRegress); r.NsPerOp > limit {
 			errs = append(errs, fmt.Errorf("regression: %s %.4g ns/op vs baseline %.4g ns/op (limit %.4g, +%.0f%%)",
 				r.Name, r.NsPerOp, b.NsPerOp, limit, 100*(r.NsPerOp/b.NsPerOp-1)))
+		}
+		// Custom metrics whose unit ends in "/sec" are throughput figures
+		// (runs/sec, events/sec, ...): higher is better, so the gate flips —
+		// fail when the fresh rate falls more than maxRegress below the
+		// baseline. Other custom metrics stay informational.
+		for unit, bv := range b.Metrics {
+			if !strings.HasSuffix(unit, "/sec") || bv <= 0 {
+				continue
+			}
+			rv, ok := r.Metrics[unit]
+			if !ok {
+				continue
+			}
+			if floor := bv * (1 - maxRegress); rv < floor {
+				errs = append(errs, fmt.Errorf("throughput regression: %s %.4g %s vs baseline %.4g %s (floor %.4g, -%.0f%%)",
+					r.Name, rv, unit, bv, unit, floor, 100*(1-rv/bv)))
+			}
 		}
 	}
 	return errs, notes

@@ -207,3 +207,54 @@ func TestRunCheckAgainstFile(t *testing.T) {
 		t.Errorf("new benchmark not surfaced informationally:\n%s", diag.String())
 	}
 }
+
+// throughputResult builds one benchmark entry carrying a runs/sec
+// metric alongside its ns/op.
+func throughputResult(name string, ns, runsPerSec float64) Result {
+	return Result{Name: name, Iterations: 1, NsPerOp: ns,
+		Metrics: map[string]float64{"runs/sec": runsPerSec}}
+}
+
+// TestCheckThroughputGatesHigherIsBetter pins the "/sec" rule: a
+// throughput metric regresses by falling, not rising, so a fresh rate
+// below (1 - maxRegress) of the baseline fails while a faster one — or
+// an equally large ns/op-style rise — passes.
+func TestCheckThroughputGatesHigherIsBetter(t *testing.T) {
+	base := Document{Benchmarks: []Result{throughputResult("BenchmarkFleet", 100, 50)}}
+
+	if errs, _ := check([]Result{throughputResult("BenchmarkFleet", 100, 34)}, base, 0.30, 0); len(errs) != 1 {
+		t.Fatalf("check returned %d errors for a 32%% throughput drop, want 1: %v", len(errs), errs)
+	} else if !strings.Contains(errs[0].Error(), "throughput regression") || !strings.Contains(errs[0].Error(), "runs/sec") {
+		t.Errorf("error does not name the throughput regression: %v", errs[0])
+	}
+
+	// Faster is never a regression, and a dip within tolerance passes.
+	for _, rate := range []float64{36, 50, 500} {
+		if errs, _ := check([]Result{throughputResult("BenchmarkFleet", 100, rate)}, base, 0.30, 0); len(errs) != 0 {
+			t.Errorf("check flagged %v runs/sec against baseline 50: %v", rate, errs)
+		}
+	}
+}
+
+// TestCheckThroughputIgnoresNonRateMetrics keeps other custom metrics
+// informational: only "/sec" units gate.
+func TestCheckThroughputIgnoresNonRateMetrics(t *testing.T) {
+	mk := func(events float64) Result {
+		return Result{Name: "BenchmarkSched", Iterations: 1, NsPerOp: 100,
+			Metrics: map[string]float64{"events": events}}
+	}
+	base := Document{Benchmarks: []Result{mk(1000)}}
+	if errs, _ := check([]Result{mk(10)}, base, 0.30, 0); len(errs) != 0 {
+		t.Errorf("check gated a non-rate custom metric: %v", errs)
+	}
+}
+
+// TestCheckThroughputRespectsMinWindow ties the rate gate to the same
+// measurement-window rule as ns/op: a too-short run gives no verdict.
+func TestCheckThroughputRespectsMinWindow(t *testing.T) {
+	base := Document{Benchmarks: []Result{throughputResult("BenchmarkFleet", 100, 50)}}
+	fresh := []Result{throughputResult("BenchmarkFleet", 100, 1)}
+	if errs, _ := check(fresh, base, 0.30, 1_000_000); len(errs) != 0 {
+		t.Errorf("check gated throughput measured over a too-short window: %v", errs)
+	}
+}

@@ -36,22 +36,42 @@
 //	                     [-ckpt-at 5ms] [-fail-after 2] [-no-fail]
 //	                     [-incremental] [-full-every 4]
 //	                     [-islands 8] [-workers 4]
+//	go run ./cmd/manasim -sweep [-sweep-specs default,overlap] [-sweep-ranks 4,8]
+//	                     [-sweep-ckpt 1ms,5ms] [-sweep-virtid sharded,mutex]
+//	                     [-sweep-incremental false,true] [-sweep-workers 4]
 //
 // -islands and -workers select the sharded parallel scheduler: ranks
 // are partitioned across island event lanes and drained by that many
 // goroutines inside conservative lookahead windows. Both are pure
 // performance knobs — the report is byte-identical for every setting,
 // which the smoke matrix verifies.
+//
+// -sweep switches to fleet mode: the cross product of the -sweep-*
+// dimension lists (each defaulting to the corresponding single-run
+// flag's value) runs as a grid of complete simulations on a bounded
+// worker pool inside one process, sharing compiled scenario programs
+// and pooled scheduler scratch across runs. The output is a JSON
+// aggregate with one cell per run — its parameters, headline metrics
+// and the FNV-64a hash plus byte count of the report that run printed —
+// and fleet totals (runs, wall time, runs/sec, spec compiles). Cell
+// hashes are byte-identical to the equivalent standalone invocation at
+// any -sweep-workers setting. Flags that only make sense for a single
+// run (-record, -trace, -group) are rejected under -sweep, and
+// -sweep-* dimension flags are rejected without -sweep.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"mana/internal/coordinator"
+	"mana/internal/fleet"
 	"mana/internal/kernelsim"
 	"mana/internal/scenario"
 	"mana/internal/virtid"
@@ -81,13 +101,24 @@ type scenarioOpts struct {
 	Islands     int
 	Workers     int
 
-	RanksSet    bool
-	StepsSet    bool
-	SpecSet     bool
-	TraceSet    bool
-	WorkloadSet bool
-	GroupSet    bool
-	IslandsSet  bool
+	Sweep       bool
+	SweepSpecs  string
+	SweepRanks  string
+	SweepCkpt   string
+	SweepVirtid string
+	SweepIncr   string
+	// SweepWorkers bounds how many sweep cells run concurrently
+	// (0 = GOMAXPROCS); -workers still parallelises within each run.
+	SweepWorkers int
+
+	RanksSet        bool
+	StepsSet        bool
+	SpecSet         bool
+	TraceSet        bool
+	WorkloadSet     bool
+	GroupSet        bool
+	IslandsSet      bool
+	SweepWorkersSet bool
 }
 
 // defaultScenario mirrors the flag defaults; the golden test pins its
@@ -126,38 +157,28 @@ func resolveSpec(s scenarioOpts) (*scenario.Spec, error) {
 	}
 }
 
-// triggersFrom translates a spec's checkpoint policy into coordinator
-// triggers, all anchored at the -ckpt-at virtual time. A spec (or a
-// trace, which carries no policy) without one gets the classic
-// three-checkpoint sequence.
-func triggersFrom(cks []scenario.CheckpointSpec, at vtime.Time) []coordinator.Trigger {
-	if len(cks) == 0 {
-		return []coordinator.Trigger{
-			{At: at},
-			{At: at, InFlight: true},
-			{At: at, MidCollective: true},
-		}
-	}
-	trig := make([]coordinator.Trigger, 0, len(cks))
-	for _, ck := range cks {
-		tr := coordinator.Trigger{At: at}
-		switch ck.Kind {
-		case "in-flight":
-			tr.InFlight = true
-		case "mid-collective":
-			tr.MidCollective = true
-		case "forming-colls":
-			tr.FormingColls = ck.Colls
-		}
-		trig = append(trig, tr)
-	}
-	return trig
-}
-
 // buildConfig validates the scenario and translates it into a
 // coordinator configuration.
 func buildConfig(s scenarioOpts) (coordinator.Config, error) {
 	var cfg coordinator.Config
+	if !s.Sweep {
+		// The sweep dimension flags only shape a -sweep grid; reject any
+		// that would otherwise be silently ignored.
+		switch {
+		case s.SweepSpecs != "":
+			return cfg, fmt.Errorf("-sweep-specs has no effect without -sweep")
+		case s.SweepRanks != "":
+			return cfg, fmt.Errorf("-sweep-ranks has no effect without -sweep")
+		case s.SweepCkpt != "":
+			return cfg, fmt.Errorf("-sweep-ckpt has no effect without -sweep")
+		case s.SweepVirtid != "":
+			return cfg, fmt.Errorf("-sweep-virtid has no effect without -sweep")
+		case s.SweepIncr != "":
+			return cfg, fmt.Errorf("-sweep-incremental has no effect without -sweep")
+		case s.SweepWorkersSet:
+			return cfg, fmt.Errorf("-sweep-workers has no effect without -sweep")
+		}
+	}
 	if s.Ranks < 1 {
 		return cfg, fmt.Errorf("-ranks must be at least 1 (got %d)", s.Ranks)
 	}
@@ -223,7 +244,7 @@ func buildConfig(s scenarioOpts) (coordinator.Config, error) {
 		}
 		cfg.Ranks = len(progs)
 		cfg.Programs = progs
-		cfg.Triggers = triggersFrom(nil, vtime.Time(s.CkptAt))
+		cfg.Triggers = fleet.Triggers(nil, vtime.Time(s.CkptAt))
 		if !s.NoFail {
 			cfg.FailAtCheckpoint = s.FailAfter
 		}
@@ -255,7 +276,7 @@ func buildConfig(s scenarioOpts) (coordinator.Config, error) {
 		return cfg, err
 	}
 	cfg.Programs = progs
-	cfg.Triggers = triggersFrom(spec.Checkpoints, vtime.Time(s.CkptAt))
+	cfg.Triggers = fleet.Triggers(spec.Checkpoints, vtime.Time(s.CkptAt))
 	if !s.NoFail {
 		cfg.FailAtCheckpoint = s.FailAfter
 	}
@@ -272,28 +293,157 @@ func buildConfig(s scenarioOpts) (coordinator.Config, error) {
 }
 
 // runScenario executes the job — including any injected failure and the
-// restarts that recover from it — and returns the full deterministic
-// output: restart notices followed by the coordinator's report.
-func runScenario(cfg coordinator.Config) (string, error) {
-	var out strings.Builder
-	c := coordinator.New(cfg)
-	outcome, err := c.Run()
+// restarts that recover from it — streaming the full deterministic
+// output (restart notices followed by the coordinator's report) into w.
+// It is a single-run front door to the fleet engine; -sweep drives the
+// same engine over a grid.
+func runScenario(cfg coordinator.Config, w io.Writer) error {
+	_, err := fleet.NewEngine().Run(cfg, w)
+	return err
+}
+
+// splitList splits a comma-separated flag value, trimming spaces and
+// dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// buildSweep validates the sweep flag surface and translates it into a
+// fleet grid. Every dimension flag left unset collapses to the single
+// value the equivalent single-run flag selects, so `-sweep` alone runs
+// a 1-cell grid of the default scenario.
+func buildSweep(s scenarioOpts) (fleet.Sweep, error) {
+	var sw fleet.Sweep
+	// These flags only make sense for exactly one run; a sweep would
+	// silently ignore (-record: overwrite per cell) them, so reject.
+	switch {
+	case s.TraceSet:
+		return sw, fmt.Errorf("-trace cannot be combined with -sweep (a sweep compiles its cells from specs)")
+	case s.Record != "":
+		return sw, fmt.Errorf("-record cannot be combined with -sweep (record a single run instead)")
+	case s.GroupSet:
+		return sw, fmt.Errorf("-group cannot be combined with -sweep (it applies to a single run)")
+	}
+	if s.SpecSet && s.WorkloadSet {
+		return sw, fmt.Errorf("-spec and -workload are mutually exclusive (-workload is an alias for the library spec of the same name)")
+	}
+	if s.Steps < 0 {
+		return sw, fmt.Errorf("-steps must be non-negative (got %d)", s.Steps)
+	}
+	var personality kernelsim.Personality
+	switch s.Kernel {
+	case "unpatched":
+		personality = kernelsim.Unpatched
+	case "patched":
+		personality = kernelsim.Patched
+	default:
+		return sw, fmt.Errorf("unknown -kernel %q (want unpatched or patched)", s.Kernel)
+	}
+
+	// Dimensions: each defaults to the single value its single-run
+	// counterpart flag selects.
+	if s.SweepSpecs != "" {
+		sw.Specs = splitList(s.SweepSpecs)
+	} else if s.SpecSet {
+		sw.Specs = []string{s.Spec}
+	} else {
+		switch s.Workload {
+		case "default", "overlap":
+			sw.Specs = []string{s.Workload}
+		default:
+			return sw, fmt.Errorf("unknown -workload %q (want default or overlap)", s.Workload)
+		}
+	}
+	if s.SweepRanks != "" {
+		for _, v := range splitList(s.SweepRanks) {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return sw, fmt.Errorf("-sweep-ranks: %q is not a positive rank count", v)
+			}
+			sw.Ranks = append(sw.Ranks, n)
+		}
+	} else {
+		if s.Ranks < 1 {
+			return sw, fmt.Errorf("-ranks must be at least 1 (got %d)", s.Ranks)
+		}
+		sw.Ranks = []int{s.Ranks}
+	}
+	if s.SweepCkpt != "" {
+		for _, v := range splitList(s.SweepCkpt) {
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				return sw, fmt.Errorf("-sweep-ckpt: %q is not a positive duration", v)
+			}
+			sw.CkptAt = append(sw.CkptAt, d)
+		}
+	} else {
+		sw.CkptAt = []time.Duration{s.CkptAt}
+	}
+	if s.SweepVirtid != "" {
+		sw.Virtids = splitList(s.SweepVirtid)
+	} else {
+		sw.Virtids = []string{s.Virtid}
+	}
+	for _, v := range sw.Virtids {
+		if _, err := virtid.ParseImpl(v); err != nil {
+			return sw, fmt.Errorf("-sweep-virtid: %w", err)
+		}
+	}
+	if s.SweepIncr != "" {
+		for _, v := range splitList(s.SweepIncr) {
+			b, err := strconv.ParseBool(v)
+			if err != nil {
+				return sw, fmt.Errorf("-sweep-incremental: %q is not a boolean", v)
+			}
+			sw.Incremental = append(sw.Incremental, b)
+		}
+	} else {
+		sw.Incremental = []bool{s.Incremental}
+	}
+
+	if s.FullEvery < 0 {
+		return sw, fmt.Errorf("-full-every must be non-negative (got %d)", s.FullEvery)
+	}
+	if s.Islands < 0 {
+		return sw, fmt.Errorf("-islands must be non-negative (got %d)", s.Islands)
+	}
+	if s.Workers < 1 {
+		return sw, fmt.Errorf("-workers must be at least 1 (got %d)", s.Workers)
+	}
+	if s.SweepWorkersSet && s.SweepWorkers < 1 {
+		return sw, fmt.Errorf("-sweep-workers must be at least 1 (got %d)", s.SweepWorkers)
+	}
+	sw.Base = fleet.Job{
+		Steps:     s.Steps,
+		Seed:      s.Seed,
+		Kernel:    personality,
+		FullEvery: s.FullEvery,
+		Islands:   s.Islands,
+		Workers:   s.Workers,
+	}
+	if !s.NoFail {
+		sw.Base.FailAfter = s.FailAfter
+	}
+	sw.PoolWorkers = s.SweepWorkers
+	return sw, nil
+}
+
+// runSweep executes the grid on one shared engine and writes the
+// machine-readable aggregate as indented JSON.
+func runSweep(sw fleet.Sweep, w io.Writer) error {
+	res, err := fleet.NewEngine().RunSweep(sw)
 	if err != nil {
-		return "", fmt.Errorf("run failed: %w", err)
+		return err
 	}
-	for outcome == coordinator.Failed {
-		fmt.Fprintf(&out, "injected failure after checkpoint #%d; restarting from last image\n",
-			len(c.Records()))
-		if err := c.Restart(); err != nil {
-			return "", fmt.Errorf("restart failed: %w", err)
-		}
-		outcome, err = c.Run()
-		if err != nil {
-			return "", fmt.Errorf("post-restart run failed: %w", err)
-		}
-	}
-	out.WriteString(c.Report())
-	return out.String(), nil
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
 }
 
 // recordTrace writes the job's per-rank op streams as a replayable
@@ -333,6 +483,13 @@ func main() {
 	flag.IntVar(&s.FullEvery, "full-every", def.FullEvery, "with -incremental, write a full image every Nth checkpoint (0 = only the first)")
 	flag.IntVar(&s.Islands, "islands", def.Islands, "partition ranks across this many event-queue lanes (0 = spec hint or serial); never changes the report")
 	flag.IntVar(&s.Workers, "workers", def.Workers, "goroutines draining island lanes in parallel windows (1 = serial); never changes the report")
+	flag.BoolVar(&s.Sweep, "sweep", false, "run a grid of simulations concurrently and print a JSON aggregate instead of one report")
+	flag.StringVar(&s.SweepSpecs, "sweep-specs", "", "with -sweep: comma-separated spec names/files for the grid (default: the single -spec/-workload)")
+	flag.StringVar(&s.SweepRanks, "sweep-ranks", "", "with -sweep: comma-separated rank counts (default: -ranks)")
+	flag.StringVar(&s.SweepCkpt, "sweep-ckpt", "", "with -sweep: comma-separated first-checkpoint times (default: -ckpt-at)")
+	flag.StringVar(&s.SweepVirtid, "sweep-virtid", "", "with -sweep: comma-separated virtid implementations (default: -virtid)")
+	flag.StringVar(&s.SweepIncr, "sweep-incremental", "", "with -sweep: comma-separated booleans for incremental images (default: -incremental)")
+	flag.IntVar(&s.SweepWorkers, "sweep-workers", 0, "with -sweep: concurrent simulations in the pool (0 = GOMAXPROCS)")
 	flag.Parse()
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
@@ -350,8 +507,23 @@ func main() {
 			s.GroupSet = true
 		case "islands":
 			s.IslandsSet = true
+		case "sweep-workers":
+			s.SweepWorkersSet = true
 		}
 	})
+
+	if s.Sweep {
+		sw, err := buildSweep(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "manasim: %v\n", err)
+			os.Exit(2)
+		}
+		if err := runSweep(sw, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "manasim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg, err := buildConfig(s)
 	if err != nil {
@@ -364,10 +536,8 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	report, err := runScenario(cfg)
-	if err != nil {
+	if err := runScenario(cfg, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "manasim: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Print(report)
 }

@@ -1,15 +1,28 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
+
+	"mana/internal/coordinator"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// runScenarioString captures runScenario's streamed output as a string,
+// the shape most tests compare.
+func runScenarioString(cfg coordinator.Config) (string, error) {
+	var buf bytes.Buffer
+	if err := runScenario(cfg, &buf); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}
 
 // TestDefaultScenarioReportGolden pins the default scenario's report
 // bytes: any change to the scheduler, the cost model or the report
@@ -22,7 +35,7 @@ func TestDefaultScenarioReportGolden(t *testing.T) {
 	if err != nil {
 		t.Fatalf("buildConfig: %v", err)
 	}
-	got, err := runScenario(cfg)
+	got, err := runScenarioString(cfg)
 	if err != nil {
 		t.Fatalf("runScenario: %v", err)
 	}
@@ -56,7 +69,7 @@ func TestIncrementalScenarioReportGolden(t *testing.T) {
 	if err != nil {
 		t.Fatalf("buildConfig: %v", err)
 	}
-	got, err := runScenario(cfg)
+	got, err := runScenarioString(cfg)
 	if err != nil {
 		t.Fatalf("runScenario: %v", err)
 	}
@@ -95,7 +108,7 @@ func TestOverlapScenarioReportGolden(t *testing.T) {
 	if err != nil {
 		t.Fatalf("buildConfig: %v", err)
 	}
-	got, err := runScenario(cfg)
+	got, err := runScenarioString(cfg)
 	if err != nil {
 		t.Fatalf("runScenario: %v", err)
 	}
@@ -146,7 +159,7 @@ func TestScenarioByteIdenticalAcrossRuns(t *testing.T) {
 	if err != nil {
 		t.Fatalf("buildConfig: %v", err)
 	}
-	r1, err := runScenario(cfg)
+	r1, err := runScenarioString(cfg)
 	if err != nil {
 		t.Fatalf("first run: %v", err)
 	}
@@ -154,7 +167,7 @@ func TestScenarioByteIdenticalAcrossRuns(t *testing.T) {
 	if err != nil {
 		t.Fatalf("buildConfig: %v", err)
 	}
-	r2, err := runScenario(cfg)
+	r2, err := runScenarioString(cfg)
 	if err != nil {
 		t.Fatalf("second run: %v", err)
 	}
@@ -174,7 +187,7 @@ func TestKernelFlagChangesReport(t *testing.T) {
 	if err != nil {
 		t.Fatalf("buildConfig: %v", err)
 	}
-	unpatched, err := runScenario(cfg)
+	unpatched, err := runScenarioString(cfg)
 	if err != nil {
 		t.Fatalf("unpatched run: %v", err)
 	}
@@ -183,7 +196,7 @@ func TestKernelFlagChangesReport(t *testing.T) {
 	if err != nil {
 		t.Fatalf("buildConfig: %v", err)
 	}
-	patched, err := runScenario(cfg)
+	patched, err := runScenarioString(cfg)
 	if err != nil {
 		t.Fatalf("patched run: %v", err)
 	}
@@ -204,7 +217,7 @@ func TestVirtidFlagChangesReport(t *testing.T) {
 	if err != nil {
 		t.Fatalf("buildConfig: %v", err)
 	}
-	sharded, err := runScenario(cfg)
+	sharded, err := runScenarioString(cfg)
 	if err != nil {
 		t.Fatalf("sharded run: %v", err)
 	}
@@ -213,7 +226,7 @@ func TestVirtidFlagChangesReport(t *testing.T) {
 	if err != nil {
 		t.Fatalf("buildConfig: %v", err)
 	}
-	mutex, err := runScenario(cfg)
+	mutex, err := runScenarioString(cfg)
 	if err != nil {
 		t.Fatalf("mutex run: %v", err)
 	}
@@ -280,7 +293,7 @@ func TestIslandFlagsAreReportNeutral(t *testing.T) {
 	if err != nil {
 		t.Fatalf("buildConfig: %v", err)
 	}
-	base, err := runScenario(baseCfg)
+	base, err := runScenarioString(baseCfg)
 	if err != nil {
 		t.Fatalf("serial runScenario: %v", err)
 	}
@@ -300,7 +313,7 @@ func TestIslandFlagsAreReportNeutral(t *testing.T) {
 			if err != nil {
 				t.Fatalf("buildConfig: %v", err)
 			}
-			got, err := runScenario(cfg)
+			got, err := runScenarioString(cfg)
 			if err != nil {
 				t.Fatalf("runScenario: %v", err)
 			}

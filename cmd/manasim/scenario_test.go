@@ -25,7 +25,7 @@ func TestLibrarySpecReportGoldens(t *testing.T) {
 			if err != nil {
 				t.Fatalf("buildConfig: %v", err)
 			}
-			got, err := runScenario(cfg)
+			got, err := runScenarioString(cfg)
 			if err != nil {
 				t.Fatalf("runScenario: %v", err)
 			}
@@ -64,7 +64,7 @@ func TestWorkloadAliasMatchesSpec(t *testing.T) {
 		if err != nil {
 			t.Fatalf("buildConfig(-workload %s): %v", name, err)
 		}
-		aliasReport, err := runScenario(aliasCfg)
+		aliasReport, err := runScenarioString(aliasCfg)
 		if err != nil {
 			t.Fatalf("runScenario(-workload %s): %v", name, err)
 		}
@@ -76,7 +76,7 @@ func TestWorkloadAliasMatchesSpec(t *testing.T) {
 		if err != nil {
 			t.Fatalf("buildConfig(-spec %s): %v", name, err)
 		}
-		specReport, err := runScenario(specCfg)
+		specReport, err := runScenarioString(specCfg)
 		if err != nil {
 			t.Fatalf("runScenario(-spec %s): %v", name, err)
 		}
@@ -105,7 +105,7 @@ func TestSpecDeterminismAcrossGOMAXPROCS(t *testing.T) {
 		if err != nil {
 			t.Fatalf("buildConfig: %v", err)
 		}
-		report, err := runScenario(cfg)
+		report, err := runScenarioString(cfg)
 		if err != nil {
 			t.Fatalf("runScenario (GOMAXPROCS=%d): %v", procs, err)
 		}
@@ -128,7 +128,7 @@ func TestRecordReplayRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("buildConfig: %v", err)
 	}
-	recorded, err := runScenario(cfg)
+	recorded, err := runScenarioString(cfg)
 	if err != nil {
 		t.Fatalf("recorded run: %v", err)
 	}
@@ -147,7 +147,7 @@ func TestRecordReplayRoundTrip(t *testing.T) {
 	if replayCfg.Ranks != cfg.Ranks {
 		t.Fatalf("replay rank count %d, want %d from the trace header", replayCfg.Ranks, cfg.Ranks)
 	}
-	replayed, err := runScenario(replayCfg)
+	replayed, err := runScenarioString(replayCfg)
 	if err != nil {
 		t.Fatalf("replayed run: %v", err)
 	}
@@ -188,11 +188,11 @@ func TestSpecFileEqualsLibrary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	libReport, err := runScenario(libCfg)
+	libReport, err := runScenarioString(libCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fileReport, err := runScenario(fileCfg)
+	fileReport, err := runScenarioString(fileCfg)
 	if err != nil {
 		t.Fatal(err)
 	}

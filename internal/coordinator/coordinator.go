@@ -156,16 +156,27 @@ type Config struct {
 	// event dispatch "iterations" is not a meaningful unit.
 	FailAtCheckpoint int
 	FailDelay        vtime.Duration
+
+	// Scratch, when non-nil, lends recycled allocations (event-queue
+	// lanes, collective rendezvous storage, memsim buffers) to this run
+	// and receives them back via Coordinator.Release. A Scratch must
+	// back at most one live Coordinator at a time; the fleet engine owns
+	// that discipline via a sync.Pool. Pooled storage is handed over
+	// reset, so a scratch-backed run is byte-identical to a cold one.
+	Scratch *Scratch
 }
 
-// DefaultConfig returns a runnable 8-rank configuration.
-func DefaultConfig() Config {
+// BaseConfig returns the default cost-model parameters — bandwidths,
+// straggler model, network, failure delay — without compiling any
+// programs. Callers (the CLI's buildConfig, the fleet engine) overlay
+// ranks, programs and triggers on top; DefaultConfig adds the default
+// 8-rank workload for tests that want a complete runnable config.
+func BaseConfig() Config {
 	return Config{
 		Ranks:              8,
 		Personality:        kernelsim.Unpatched,
 		Virtid:             virtid.ImplSharded,
 		Net:                netsim.DefaultParams(),
-		Programs:           scenario.MustPrograms("default", scenario.Params{Ranks: 8, Steps: 30, Seed: 42}),
 		CkptWriteBandwidth: 2e9,
 		CkptReadBandwidth:  4e9,
 		StragglerP:         0.1,
@@ -179,6 +190,13 @@ func DefaultConfig() Config {
 		// application steps after the checkpoint commits.
 		FailDelay: 250 * vtime.Microsecond,
 	}
+}
+
+// DefaultConfig returns a runnable 8-rank configuration.
+func DefaultConfig() Config {
+	cfg := BaseConfig()
+	cfg.Programs = scenario.MustPrograms("default", scenario.Params{Ranks: 8, Steps: 30, Seed: 42})
+	return cfg
 }
 
 // Outcome reports how a Run ended.
@@ -358,6 +376,10 @@ type Coordinator struct {
 	ranks []*rank.Rank
 	net   *netsim.Network
 	rng   *vtime.RNG
+	// mempool backs every rank's address-space buffers; it comes from
+	// the run's Scratch so buffers recycle across runs (and across
+	// restarts within a run).
+	mempool *memsim.Pool
 
 	// queues holds islands+1 lanes: lanes [0, islands) carry one
 	// island's ready/delivery events, lane islands (the global lane)
@@ -466,26 +488,37 @@ func New(cfg Config) *Coordinator {
 	for i := range world {
 		world[i] = i
 	}
+	// A scratch-backed run draws its expensive storage — queue lanes,
+	// per-rank slices, rendezvous instances, memsim buffers — from the
+	// retired run that fed the scratch; a cold run allocates the same
+	// shapes fresh. Either way the storage starts at its zero point, so
+	// the two runs are byte-identical.
+	sc := cfg.Scratch
+	if sc == nil {
+		sc = NewScratch()
+	}
 	c := &Coordinator{
 		cfg: cfg,
 		net: netsim.New(cfg.Net),
 		rng: vtime.NewRNG(cfg.Seed),
 		// One lane per island plus the global lane, each preallocated
 		// for its steady-state population (one ready event per rank).
-		queues:     vtime.NewIslandQueues[event](islands+1, cfg.Ranks/islands+16),
-		islands:    islands,
-		workers:    workers,
-		islandOf:   make([]int, cfg.Ranks),
-		lookahead:  cfg.Net.CrossLookahead(),
-		lanebufs:   make([]laneBuf, islands),
-		triggers:   append([]Trigger(nil), cfg.Triggers...),
-		fired:      make([]bool, len(cfg.Triggers)),
-		unfired:    len(cfg.Triggers),
-		ranks:      make([]*rank.Rank, 0, cfg.Ranks),
-		comms:      []comm{{members: world}},
-		colls:      make(map[int]*forming),
-		inCollComm: make([]int, cfg.Ranks),
-		held:       make(map[int]bool),
+		queues:      sc.takeQueues(islands+1, cfg.Ranks/islands+16),
+		islands:     islands,
+		workers:     workers,
+		islandOf:    takeSlice(&sc.islandOf, cfg.Ranks),
+		lookahead:   cfg.Net.CrossLookahead(),
+		lanebufs:    sc.takeLanebufs(islands),
+		triggers:    append([]Trigger(nil), cfg.Triggers...),
+		fired:       takeSlice(&sc.fired, len(cfg.Triggers)),
+		unfired:     len(cfg.Triggers),
+		ranks:       sc.takeRanks(cfg.Ranks),
+		formingPool: sc.takeForming(),
+		comms:       []comm{{members: world}},
+		colls:       make(map[int]*forming),
+		inCollComm:  takeSlice(&sc.inCollComm, cfg.Ranks),
+		held:        sc.takeHeld(),
+		mempool:     sc.mem,
 	}
 	for id := range c.islandOf {
 		if cfg.Net.GroupSize > 0 {
@@ -505,7 +538,7 @@ func New(cfg Config) *Coordinator {
 		c.queues.Push(c.globalLane(), t.At, event{kind: evTrigger, trigger: i})
 	}
 	for id := 0; id < cfg.Ranks; id++ {
-		r := rank.New(id, cfg.Personality, cfg.Virtid, cfg.Programs[id])
+		r := rank.NewPooled(id, cfg.Personality, cfg.Virtid, cfg.Programs[id], c.mempool)
 		r.SetIsland(c.islandOf[id])
 		c.ranks = append(c.ranks, r)
 		if r.State() == rank.Done {
@@ -1340,64 +1373,76 @@ func (c *Coordinator) FinalFingerprint() uint64 {
 	return h.Sum64()
 }
 
-// Report renders a deterministic plain-text summary of the run: per-rank
-// virtual times and accounting, per-checkpoint protocol records, and the
-// final fingerprint. Two identical runs produce byte-identical reports.
+// Report renders a deterministic plain-text summary of the run as one
+// string. It is a convenience wrapper over WriteReport for callers that
+// want to retain or compare the whole report.
 func (c *Coordinator) Report() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "manasim: %d ranks, kernel=%v, virtid=%v, seed=%d\n",
+	c.WriteReport(&b)
+	return b.String()
+}
+
+// WriteReport streams the deterministic plain-text summary of the run —
+// per-rank virtual times and accounting, per-checkpoint protocol
+// records, and the final fingerprint — into w, without ever building the
+// whole report in memory. Two identical runs produce byte-identical
+// report streams, whatever the writer: the fleet path feeds a hash (or
+// discards the bytes entirely) and still observes the exact bytes a
+// standalone run prints. Write errors are not reported, matching the
+// best-effort semantics the string path always had.
+func (c *Coordinator) WriteReport(w io.Writer) {
+	fmt.Fprintf(w, "manasim: %d ranks, kernel=%v, virtid=%v, seed=%d\n",
 		c.cfg.Ranks, c.cfg.Personality, c.cfg.Virtid, c.cfg.Seed)
-	fmt.Fprintf(&b, "job: makespan=%v, events=%d, rank-visits=%d, messages sent=%d\n",
+	fmt.Fprintf(w, "job: makespan=%v, events=%d, rank-visits=%d, messages sent=%d\n",
 		c.MaxClock(), c.events, c.rankVisits, c.net.TotalSent())
 	var splits uint64
 	for _, r := range c.ranks {
 		splits += r.Stats().CommSplits
 	}
-	fmt.Fprintf(&b, "comms: %d (1 world + %d split), comm-splits executed=%d\n",
+	fmt.Fprintf(w, "comms: %d (1 world + %d split), comm-splits executed=%d\n",
 		len(c.comms), len(c.comms)-1, splits)
 
-	fmt.Fprintf(&b, "\nranks:\n")
-	fmt.Fprintf(&b, "  %4s %16s %10s %6s %6s %6s %14s %14s\n",
+	fmt.Fprintf(w, "\nranks:\n")
+	fmt.Fprintf(w, "  %4s %16s %10s %6s %6s %6s %14s %14s\n",
 		"rank", "vtime", "mpi-calls", "sent", "recvd", "coll", "mana-overhead", "ckpt-overhead")
 	for _, r := range c.ranks {
 		st := r.Stats()
-		fmt.Fprintf(&b, "  %4d %16v %10d %6d %6d %6d %14v %14v\n",
+		fmt.Fprintf(w, "  %4d %16v %10d %6d %6d %6d %14v %14v\n",
 			r.ID(), r.Clock().Now(), st.MPICalls, st.MsgsSent, st.MsgsRecvd,
 			st.Collectives, st.ManaOverhead, r.CkptOverhead())
 	}
 
-	fmt.Fprintf(&b, "\ncheckpoints: %d committed (incremental=%v, full-every=%d)\n",
+	fmt.Fprintf(w, "\ncheckpoints: %d committed (incremental=%v, full-every=%d)\n",
 		len(c.records), c.cfg.Incremental, c.cfg.FullImageEvery)
 	for _, rec := range c.records {
-		fmt.Fprintf(&b, "  #%d requested@%v mid-collective=%v deferred=%v safe@%v\n",
+		fmt.Fprintf(w, "  #%d requested@%v mid-collective=%v deferred=%v safe@%v\n",
 			rec.Seq, rec.RequestedAt, rec.MidCollective, rec.DeferredFor, rec.SafeAt)
-		fmt.Fprintf(&b, "     drained %d msgs (%d bytes), wrote %d bytes (%dF+%dD), slowest write %v, fp=%016x\n",
+		fmt.Fprintf(w, "     drained %d msgs (%d bytes), wrote %d bytes (%dF+%dD), slowest write %v, fp=%016x\n",
 			rec.DrainedMsgs, rec.DrainedBytes, rec.ImageBytes, rec.FullImages, rec.DeltaImages,
 			rec.MaxWriteTime, rec.Fingerprint)
-		fmt.Fprintf(&b, "     full %d bytes, dirty %d bytes, dedup %.3f\n",
+		fmt.Fprintf(w, "     full %d bytes, dirty %d bytes, dedup %.3f\n",
 			rec.FullBytes, rec.DirtyBytes, rec.DedupRatio())
-		fmt.Fprintf(&b, "     coll-drain: planned=%d overlap-width=%d drain-events=%d\n",
+		fmt.Fprintf(w, "     coll-drain: planned=%d overlap-width=%d drain-events=%d\n",
 			rec.DrainPlanned, rec.OverlapWidth, rec.DrainEvents)
 	}
 
 	if len(c.restarts) > 0 {
-		fmt.Fprintf(&b, "\nrestarts: %d\n", len(c.restarts))
+		fmt.Fprintf(w, "\nrestarts: %d\n", len(c.restarts))
 		for _, rs := range c.restarts {
-			fmt.Fprintf(&b, "  restored from checkpoint #%d, resumed at vtime %v\n", rs.FromSeq, rs.ResumeClock)
+			fmt.Fprintf(w, "  restored from checkpoint #%d, resumed at vtime %v\n", rs.FromSeq, rs.ResumeClock)
 		}
 	}
 
 	lk := c.LookupStats()
-	fmt.Fprintf(&b, "\nvirtid: impl=%v, per-lookup=%v, per-write=%v\n",
+	fmt.Fprintf(w, "\nvirtid: impl=%v, per-lookup=%v, per-write=%v\n",
 		c.cfg.Virtid, c.cfg.Virtid.LookupCost(), c.cfg.Virtid.WriteCost())
-	fmt.Fprintf(&b, "  lookups: total=%d (comm=%d datatype=%d request=%d), modelled time=%v\n",
+	fmt.Fprintf(w, "  lookups: total=%d (comm=%d datatype=%d request=%d), modelled time=%v\n",
 		lk.HandleLookups, lk.CommLookups, lk.DatatypeLookups, lk.RequestLookups, lk.LookupTime)
-	fmt.Fprintf(&b, "  writes: total=%d, modelled time=%v\n", lk.HandleWrites, lk.WriteTime)
+	fmt.Fprintf(w, "  writes: total=%d, modelled time=%v\n", lk.HandleWrites, lk.WriteTime)
 
 	mem := c.memorySummary()
-	fmt.Fprintf(&b, "\nmemory (rank 0): upper=%d bytes, lower=%d bytes\n", mem[0], mem[1])
-	fmt.Fprintf(&b, "final fingerprint: %016x\n", c.FinalFingerprint())
-	return b.String()
+	fmt.Fprintf(w, "\nmemory (rank 0): upper=%d bytes, lower=%d bytes\n", mem[0], mem[1])
+	fmt.Fprintf(w, "final fingerprint: %016x\n", c.FinalFingerprint())
 }
 
 // LookupStats aggregates the per-rank handle-virtualisation accounting

@@ -1,0 +1,47 @@
+package coordinator
+
+import (
+	"io"
+	"testing"
+)
+
+// completedRun returns a finished default run to render reports from.
+func completedRun(tb testing.TB) *Coordinator {
+	tb.Helper()
+	c := New(DefaultConfig())
+	if _, err := c.Run(); err != nil {
+		tb.Fatalf("Run: %v", err)
+	}
+	return c
+}
+
+// TestWriteReportAllocsPinned pins the point of the io.Writer refactor:
+// streaming the report must allocate no more than building the string —
+// rendering straight into a sink (a hash, a file, a pooled buffer)
+// never pays for intermediate string assembly.
+func TestWriteReportAllocsPinned(t *testing.T) {
+	c := completedRun(t)
+	stream := testing.AllocsPerRun(20, func() { c.WriteReport(io.Discard) })
+	str := testing.AllocsPerRun(20, func() { _ = c.Report() })
+	t.Logf("WriteReport(io.Discard): %.0f allocs/op, Report(): %.0f allocs/op", stream, str)
+	if stream > str {
+		t.Errorf("WriteReport allocates %.0f/op, more than Report's %.0f/op", stream, str)
+	}
+}
+
+// BenchmarkWriteReport prices both render paths.
+func BenchmarkWriteReport(b *testing.B) {
+	c := completedRun(b)
+	b.Run("writer", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.WriteReport(io.Discard)
+		}
+	})
+	b.Run("string", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = c.Report()
+		}
+	})
+}

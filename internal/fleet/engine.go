@@ -1,0 +1,286 @@
+// Package fleet executes many independent manasim simulations in one
+// process — the simulator as an experiment service rather than a
+// one-run CLI.
+//
+// The Engine is the multi-run core. Each run is fully isolated: a
+// coordinator, its ranks, network and queues share no mutable state
+// with any other run (the isolation lint in cmd/isolint keeps the
+// audit honest — no package-level mutable state exists under
+// internal/). What runs DO share is recycled storage and compiled
+// inputs, the two costs that dominate cold runs:
+//
+//   - a sync.Pool of coordinator.Scratch instances lends each run the
+//     previous run's event-queue lanes, per-rank bookkeeping slices,
+//     collective rendezvous instances and memsim region buffers, all
+//     handed over reset so a warm run is byte-identical to a cold one;
+//   - a keyed compile cache shares scenario programs: a spec compiled
+//     for a given (spec, ranks, steps, seed, group) is compiled once
+//     and the resulting programs are read-only thereafter — ranks only
+//     ever index their script — so any number of concurrent runs can
+//     execute the same compiled workload.
+//
+// Spec compilation itself is serialised under the engine lock:
+// scenario.Spec.Compile re-validates its receiver in place (parsed
+// durations are cached on the spec), so two goroutines compiling one
+// *Spec concurrently would race. The cache makes the serialisation
+// cheap — each key compiles exactly once.
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"mana/internal/coordinator"
+	"mana/internal/kernelsim"
+	"mana/internal/scenario"
+	"mana/internal/virtid"
+	"mana/internal/vtime"
+)
+
+// Job names one simulation the engine can run: the workload spec plus
+// the knobs cmd/manasim exposes as flags, mapped verbatim. Note the
+// zero Virtid is virtid.ImplMutex (the MANA baseline), not the sharded
+// table the CLI defaults to.
+type Job struct {
+	Spec  *scenario.Spec
+	Ranks int
+	Steps int
+	Seed  uint64
+	// Group is the sub-communicator width for specs that split
+	// communicators; 0 uses the spec's own default.
+	Group  int
+	Kernel kernelsim.Personality
+	Virtid virtid.Impl
+	// CkptAt anchors the spec's checkpoint policy in virtual time.
+	CkptAt vtime.Time
+	// FailAfter injects a failure after this checkpoint commits
+	// (0 = never); the engine's Run restarts and completes the job.
+	FailAfter   int
+	Incremental bool
+	FullEvery   int
+	// Islands <= 0 applies the spec's lane-count hint (or serial);
+	// Workers <= 1 drains serially. Both are pure performance knobs.
+	Islands int
+	Workers int
+}
+
+// Result carries one completed run's headline metrics — everything the
+// sweep aggregate reports besides the report hash, which the caller
+// computes from the bytes Run streams into its writer.
+type Result struct {
+	Makespan    vtime.Time
+	Events      uint64
+	RankVisits  uint64
+	Checkpoints int
+	Restarts    int
+	// ImageBytes totals what every committed checkpoint wrote.
+	ImageBytes uint64
+}
+
+// compileKey identifies one compiled program set. The spec is keyed by
+// pointer identity: the engine's LoadSpec caches specs by name, so one
+// sweep resolves each spec once and every cell over it shares the key.
+type compileKey struct {
+	spec         *scenario.Spec
+	ranks, steps int
+	group        int
+	seed         uint64
+}
+
+// Engine runs simulations with cross-run reuse of scratch storage and
+// compiled specs. The zero Engine is not usable; call NewEngine. An
+// Engine is safe for concurrent use; specs handed to it (via Job.Spec
+// or LoadSpec) must not be compiled or mutated outside the engine while
+// it runs.
+type Engine struct {
+	mu       sync.Mutex
+	specs    map[string]*scenario.Spec
+	compiled map[compileKey][]scenario.Program
+	compiles uint64
+
+	// scratch recycles coordinator storage across runs. sync.Pool gives
+	// each concurrent run its own Scratch — the one-live-run-per-Scratch
+	// discipline coordinator.Scratch requires — and drops extras under
+	// memory pressure.
+	scratch sync.Pool
+}
+
+// NewEngine returns an empty engine: the first run on it allocates and
+// compiles cold, later runs reuse.
+func NewEngine() *Engine {
+	return &Engine{
+		specs:    make(map[string]*scenario.Spec),
+		compiled: make(map[compileKey][]scenario.Program),
+		scratch: sync.Pool{
+			New: func() any { return coordinator.NewScratch() },
+		},
+	}
+}
+
+// LoadSpec resolves a spec by library name or JSON file path, cached so
+// every job over the same name shares one *Spec (and therefore one
+// compile-cache key per parameter set).
+func (e *Engine) LoadSpec(name string) (*scenario.Spec, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s, ok := e.specs[name]; ok {
+		return s, nil
+	}
+	var (
+		s   *scenario.Spec
+		err error
+	)
+	if scenario.IsLibrary(name) {
+		s, err = scenario.Load(name)
+	} else {
+		s, err = scenario.LoadFile(name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.specs[name] = s
+	return s, nil
+}
+
+// Programs returns the compiled per-rank programs for (spec, p),
+// compiling at most once per key. The returned slice and everything it
+// references are shared and read-only: callers hand them to
+// coordinator.Config verbatim and never mutate them.
+func (e *Engine) Programs(spec *scenario.Spec, p scenario.Params) ([]scenario.Program, error) {
+	key := compileKey{spec: spec, ranks: p.Ranks, steps: p.Steps, group: p.Group, seed: p.Seed}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if progs, ok := e.compiled[key]; ok {
+		return progs, nil
+	}
+	progs, err := spec.Compile(p)
+	if err != nil {
+		return nil, err
+	}
+	e.compiles++
+	e.compiled[key] = progs
+	return progs, nil
+}
+
+// Compiles returns how many spec compilations the engine has performed —
+// the compile cache's miss count. Deterministic for a given job set:
+// one per distinct compile key.
+func (e *Engine) Compiles() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.compiles
+}
+
+// Triggers translates a spec's checkpoint policy into coordinator
+// triggers, all anchored at the given virtual time. A spec (or a trace,
+// which carries no policy) without one gets the classic
+// three-checkpoint sequence.
+func Triggers(cks []scenario.CheckpointSpec, at vtime.Time) []coordinator.Trigger {
+	if len(cks) == 0 {
+		return []coordinator.Trigger{
+			{At: at},
+			{At: at, InFlight: true},
+			{At: at, MidCollective: true},
+		}
+	}
+	trig := make([]coordinator.Trigger, 0, len(cks))
+	for _, ck := range cks {
+		tr := coordinator.Trigger{At: at}
+		switch ck.Kind {
+		case "in-flight":
+			tr.InFlight = true
+		case "mid-collective":
+			tr.MidCollective = true
+		case "forming-colls":
+			tr.FormingColls = ck.Colls
+		}
+		trig = append(trig, tr)
+	}
+	return trig
+}
+
+// Config compiles the job (through the cache) and translates it into a
+// coordinator configuration — field for field what cmd/manasim's
+// buildConfig produces for the same parameters, so a fleet run's report
+// is byte-identical to the standalone run's.
+func (e *Engine) Config(j Job) (coordinator.Config, error) {
+	if j.Spec == nil {
+		return coordinator.Config{}, fmt.Errorf("fleet: job has no spec")
+	}
+	progs, err := e.Programs(j.Spec, scenario.Params{Ranks: j.Ranks, Steps: j.Steps, Seed: j.Seed, Group: j.Group})
+	if err != nil {
+		return coordinator.Config{}, err
+	}
+	cfg := coordinator.BaseConfig()
+	cfg.Ranks = j.Ranks
+	cfg.Personality = j.Kernel
+	cfg.Virtid = j.Virtid
+	cfg.Seed = j.Seed
+	cfg.Incremental = j.Incremental
+	cfg.FullImageEvery = j.FullEvery
+	cfg.Programs = progs
+	cfg.Triggers = Triggers(j.Spec.Checkpoints, j.CkptAt)
+	cfg.FailAtCheckpoint = j.FailAfter
+	cfg.Islands = j.Islands
+	if cfg.Islands <= 0 && j.Spec.Islands > 0 {
+		cfg.Islands = j.Spec.Islands
+	}
+	cfg.Workers = j.Workers
+	return cfg, nil
+}
+
+// Run executes one configuration to completion — including any injected
+// failure and the restarts that recover from it — streaming the full
+// deterministic output (restart notices followed by the report) into w.
+// A nil w discards the output. The run borrows a recycled Scratch from
+// the engine and returns it when the run retires; concurrent Runs are
+// safe and each borrows its own.
+func (e *Engine) Run(cfg coordinator.Config, w io.Writer) (Result, error) {
+	if w == nil {
+		w = io.Discard
+	}
+	sc := e.scratch.Get().(*coordinator.Scratch)
+	cfg.Scratch = sc
+	c := coordinator.New(cfg)
+	outcome, err := c.Run()
+	if err != nil {
+		// An errored run's storage is mid-flight (queued events, open
+		// rendezvous); drop the scratch rather than recycle it.
+		return Result{}, fmt.Errorf("run failed: %w", err)
+	}
+	for outcome == coordinator.Failed {
+		fmt.Fprintf(w, "injected failure after checkpoint #%d; restarting from last image\n",
+			len(c.Records()))
+		if err := c.Restart(); err != nil {
+			return Result{}, fmt.Errorf("restart failed: %w", err)
+		}
+		outcome, err = c.Run()
+		if err != nil {
+			return Result{}, fmt.Errorf("post-restart run failed: %w", err)
+		}
+	}
+	c.WriteReport(w)
+	res := Result{
+		Makespan:    c.MaxClock(),
+		Events:      c.EventsDispatched(),
+		RankVisits:  c.RankVisits(),
+		Checkpoints: len(c.Records()),
+		Restarts:    len(c.Restarts()),
+	}
+	for _, rec := range c.Records() {
+		res.ImageBytes += rec.ImageBytes
+	}
+	c.Release()
+	e.scratch.Put(sc)
+	return res, nil
+}
+
+// RunJob is Config followed by Run.
+func (e *Engine) RunJob(j Job, w io.Writer) (Result, error) {
+	cfg, err := e.Config(j)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.Run(cfg, w)
+}

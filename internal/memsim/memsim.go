@@ -293,11 +293,21 @@ type AddressSpace struct {
 	// gen counts committed snapshot generations (CommitUpperHalf and
 	// CommitUpperHalfDelta); deltas are always relative to generation gen.
 	gen uint64
+	// pool optionally recycles live-region Data buffers across address-
+	// space lifetimes (see Pool); nil means plain make allocation.
+	pool *Pool
 }
 
 // NewAddressSpace returns an empty address space with MANA's sbrk
 // interposition enabled (the default when running under MANA).
 func NewAddressSpace() *AddressSpace {
+	return NewAddressSpacePooled(nil)
+}
+
+// NewAddressSpacePooled returns an empty address space whose region
+// backing buffers are drawn from (and returned to, via Release) the
+// given pool. A nil pool is equivalent to NewAddressSpace.
+func NewAddressSpacePooled(pool *Pool) *AddressSpace {
 	return &AddressSpace{
 		regions:   make(map[uint64]*Region),
 		nextUpper: upperBase,
@@ -305,7 +315,37 @@ func NewAddressSpace() *AddressSpace {
 		brkBase:   upperBase,
 		brk:       upperBase,
 		sbrkInter: true,
+		pool:      pool,
 	}
+}
+
+// allocData returns a zeroed n-byte buffer for live-region contents,
+// recycled from the pool when one is attached.
+func (a *AddressSpace) allocData(n int) []byte {
+	if a.pool != nil {
+		return a.pool.get(n)
+	}
+	return make([]byte, n)
+}
+
+// Release returns every live region's uniquely-owned Data buffer to the
+// attached pool and empties the address space. Seals and snapshot
+// payloads are never recycled — committed checkpoint images alias them
+// and must stay immutable. The space must not be used after Release;
+// callers that captured Regions()/Lookup() copies keep them (those are
+// deep copies). Without an attached pool Release only empties the map.
+func (a *AddressSpace) Release() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.pool != nil {
+		for _, r := range a.regions {
+			if r.Data != nil {
+				a.pool.put(r.Data)
+				r.Data = nil
+			}
+		}
+	}
+	clear(a.regions)
 }
 
 // SetSbrkInterposition enables or disables MANA's interposition on sbrk.
@@ -380,7 +420,7 @@ func (a *AddressSpace) MmapWithData(name string, half Half, kind Kind, data []by
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	r := a.mmapLocked(name, half, kind, uint64(len(data)))
-	r.Data = make([]byte, len(data))
+	r.Data = a.allocData(len(data))
 	copy(r.Data, data)
 	return r
 }
@@ -568,14 +608,17 @@ func (a *AddressSpace) Write(addr uint64, offset uint64, data []byte) error {
 			len(data), offset, r.Name, r.Size)
 	}
 	if r.Data == nil {
-		r.Data = make([]byte, r.Size)
+		r.Data = a.allocData(int(r.Size))
 		// Materialising the backing store changes the region's recorded
 		// data length, which is part of the checkpointable state; the
 		// whole region must reach the next incremental image.
 		r.markAllDirty()
 	} else if uint64(len(r.Data)) < r.Size {
-		grown := make([]byte, r.Size)
+		grown := a.allocData(int(r.Size))
 		copy(grown, r.Data)
+		if a.pool != nil {
+			a.pool.put(r.Data)
+		}
 		r.Data = grown
 		r.markAllDirty()
 	}
@@ -775,7 +818,12 @@ func (a *AddressSpace) RestoreUpperHalf(s Snapshot) {
 		// Restored regions deep-copy the image contents into fresh live
 		// buffers (the image must stay immutable) and start entirely
 		// dirty with no seal: restart begins a new incremental chain.
-		c := s.Regions[i].clone()
+		src := &s.Regions[i]
+		c := Region{Name: src.Name, Half: src.Half, Kind: src.Kind, Addr: src.Addr, Size: src.Size}
+		if src.Data != nil {
+			c.Data = a.allocData(len(src.Data))
+			copy(c.Data, src.Data)
+		}
 		c.markAllDirty()
 		if len(s.RegionHashes) == len(s.Regions) {
 			c.hash, c.hashOK = s.RegionHashes[i], true

@@ -183,6 +183,9 @@ type Rank struct {
 	island int
 	clock  *vtime.Clock
 	mem    *memsim.AddressSpace
+	// pool, when non-nil, backs mem's region buffers; Restore threads it
+	// into the rebuilt address space and ReleaseMem recycles into it.
+	pool   *memsim.Pool
 	kernel *kernelsim.Kernel
 	script scenario.Program
 	pc     int
@@ -262,10 +265,20 @@ const (
 // virtualisation table exactly as MANA wraps MPI_Init: the application
 // only ever sees their virtual ids.
 func New(id int, personality kernelsim.Personality, impl virtid.Impl, script scenario.Program) *Rank {
+	return NewPooled(id, personality, impl, script, nil)
+}
+
+// NewPooled is New with the rank's address-space backing buffers drawn
+// from (and, via ReleaseMem, returned to) a shared memsim.Pool. A nil
+// pool is equivalent to New. Pooled allocation is invisible to the
+// simulation: buffers come out zeroed, exactly like fresh ones, so a
+// pooled rank's run is bit-identical to an unpooled one.
+func NewPooled(id int, personality kernelsim.Personality, impl virtid.Impl, script scenario.Program, pool *memsim.Pool) *Rank {
 	r := &Rank{
 		id:     id,
 		clock:  vtime.NewClock(0),
-		mem:    memsim.NewAddressSpace(),
+		mem:    memsim.NewAddressSpacePooled(pool),
+		pool:   pool,
 		kernel: kernelsim.NewForTable(personality, impl),
 		script: script,
 		vt:     virtid.New(impl),
@@ -842,8 +855,10 @@ func (r *Rank) Restore(img Image) {
 	// fresh one, exactly as the real bootstrap does. Rebuilding from
 	// scratch also keeps the mmap allocation cursor bit-identical to an
 	// uncheckpointed run, so replayed allocations land at the same
-	// addresses.
-	r.mem = memsim.NewAddressSpace()
+	// addresses. The dead space's buffers go back to the pool first —
+	// nothing aliases them (images alias seals, never live Data).
+	r.mem.Release()
+	r.mem = memsim.NewAddressSpacePooled(r.pool)
 	r.InitLowerHalf()
 	r.mem.RestoreUpperHalf(img.Mem)
 	// The virtualisation table is rebuilt from the image, exactly as MANA
@@ -866,4 +881,11 @@ func (r *Rank) Restore(img Image) {
 	r.inbox = make([]netsim.Message, len(img.Inbox))
 	copy(r.inbox, img.Inbox)
 	r.stats = img.Stats
+}
+
+// ReleaseMem returns the rank's address-space buffers to the pool it was
+// built with (a no-op for unpooled ranks). The rank must not be used
+// afterwards; a fleet engine calls this when its run retires.
+func (r *Rank) ReleaseMem() {
+	r.mem.Release()
 }

@@ -164,3 +164,41 @@ func (iq *IslandQueues[T]) Clear() {
 		q.Clear()
 	}
 }
+
+// Reset reshapes the queue set to k empty lanes with the shared counter
+// back at zero, reusing as much existing heap storage as possible: a
+// recycled IslandQueues behaves exactly like NewIslandQueues(k, hint)
+// while keeping the grown lane capacities of its previous life. Unlike
+// Clear, the sequence space restarts — callers must not mix pre- and
+// post-Reset pushes in one ordering domain; Reset is for handing the
+// storage to a fresh, unrelated run.
+func (iq *IslandQueues[T]) Reset(k, hint int) {
+	if k < 1 {
+		panic("vtime: IslandQueues needs at least one lane")
+	}
+	if iq.inWindow {
+		panic("vtime: Reset during a window")
+	}
+	for i, q := range iq.lanes {
+		if i >= k {
+			break
+		}
+		q.Clear()
+		q.seq = 0
+	}
+	for len(iq.lanes) < k {
+		iq.lanes = append(iq.lanes, NewEventQueueSized[T](hint))
+	}
+	if len(iq.lanes) > k {
+		clear(iq.lanes[k:]) // release dropped lanes for GC
+		iq.lanes = iq.lanes[:k]
+	}
+	if cap(iq.wseq) < k {
+		iq.wseq = make([]uint64, k)
+	} else {
+		iq.wseq = iq.wseq[:k]
+		clear(iq.wseq)
+	}
+	iq.seq = 0
+	iq.base = 0
+}

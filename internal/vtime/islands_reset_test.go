@@ -1,0 +1,99 @@
+package vtime
+
+import "testing"
+
+// TestIslandQueuesReset pins the recycling contract fleet mode relies
+// on: a Reset queue set behaves exactly like a freshly constructed one —
+// same lane count, restarted sequence space, no events surviving — while
+// keeping the grown storage.
+func TestIslandQueuesReset(t *testing.T) {
+	iq := NewIslandQueues[int](3, 4)
+	for i := 0; i < 50; i++ {
+		iq.Push(i%3, Time(100-i), i)
+	}
+	iq.Reset(3, 4)
+	if n := iq.Len(); n != 0 {
+		t.Fatalf("Reset queue still holds %d events", n)
+	}
+
+	// A fresh queue set and the reset one must pop identical (value,
+	// ordering) sequences for the same pushes: Reset restarts the shared
+	// seq counter, so FIFO tie-breaks replay exactly.
+	fresh := NewIslandQueues[int](3, 4)
+	for i := 0; i < 20; i++ {
+		lane, at, v := i%3, Time(i%5), i
+		iq.Push(lane, at, v)
+		fresh.Push(lane, at, v)
+	}
+	for fresh.Len() > 0 {
+		wl, wt, wv, wok := fresh.PopMin()
+		gl, gt, gv, gok := iq.PopMin()
+		if wl != gl || wv != gv || wt != gt || wok != gok {
+			t.Fatalf("reset queues diverge from fresh: got (%d,%d,%d,%v), want (%d,%d,%d,%v)",
+				gl, gt, gv, gok, wl, wt, wv, wok)
+		}
+	}
+	if _, _, _, ok := iq.PopMin(); ok {
+		t.Fatal("reset queues hold more events than fresh ones")
+	}
+}
+
+// TestIslandQueuesResetResize covers lane-count changes across runs:
+// shrinking drops (and clears) surplus lanes, growing allocates them.
+func TestIslandQueuesResetResize(t *testing.T) {
+	iq := NewIslandQueues[int](5, 2)
+	for i := 0; i < 10; i++ {
+		iq.Push(i%5, Time(i), i)
+	}
+	iq.Reset(2, 2)
+	iq.Push(0, 3, 30)
+	iq.Push(1, 1, 10)
+	if _, at, v, ok := iq.PopMin(); !ok || v != 10 || at != 1 {
+		t.Fatalf("after shrink: PopMin = (%d,%d,%v), want (1,10,true)", at, v, ok)
+	}
+
+	iq.Reset(4, 2)
+	if n := iq.Len(); n != 0 {
+		t.Fatalf("grown queue holds %d stale events", n)
+	}
+	iq.Push(3, 7, 70)
+	if _, _, v, ok := iq.PopMin(); !ok || v != 70 {
+		t.Fatalf("after grow: PopMin = (_,_,%d,%v), want (70,true)", v, ok)
+	}
+}
+
+// TestIslandQueuesResetWindowSeq checks the window-mode sequence blocks
+// restart too: a reset queue set in a window must order worker pushes
+// identically to a fresh one.
+func TestIslandQueuesResetWindowSeq(t *testing.T) {
+	run := func(iq *IslandQueues[int]) []int {
+		iq.BeginWindow()
+		iq.WorkerPush(1, 5, 100)
+		iq.WorkerPush(0, 5, 200)
+		iq.WorkerPush(1, 5, 101)
+		iq.EndWindow()
+		var out []int
+		for {
+			_, _, v, ok := iq.PopMin()
+			if !ok {
+				return out
+			}
+			out = append(out, v)
+		}
+	}
+	iq := NewIslandQueues[int](2, 4)
+	for i := 0; i < 9; i++ {
+		iq.Push(i%2, Time(i), i)
+	}
+	iq.Reset(2, 4)
+	got := run(iq)
+	want := run(NewIslandQueues[int](2, 4))
+	if len(got) != len(want) {
+		t.Fatalf("window pops differ in length: got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("window order diverges at %d: got %v, want %v", i, got, want)
+		}
+	}
+}
