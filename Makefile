@@ -11,7 +11,7 @@ BENCHTIME ?= 1s
 # planner (overlapping vs serialised collectives) and fleet throughput
 # (complete simulations per second; its runs/sec metric gates
 # higher-is-better in bench-check).
-BENCH_PATTERN ?= BenchmarkScheduler|BenchmarkVirtid|BenchmarkCheckpointCapture|BenchmarkSnapshotUpperHalf|BenchmarkOverlapDrain|BenchmarkFleetThroughput
+BENCH_PATTERN ?= BenchmarkScheduler|BenchmarkVirtid|BenchmarkCheckpointCapture|BenchmarkSnapshotUpperHalf|BenchmarkOverlapDrain|BenchmarkFleetThroughput|BenchmarkRestartFallback
 BENCH_PKGS ?= ./internal/coordinator ./internal/virtid ./internal/rank ./internal/memsim ./internal/fleet
 # MAX_REGRESS is bench-check's tolerated ns/op regression vs the
 # committed artifact (0.30 = 30%); CI loosens it because -benchtime=1x
@@ -19,7 +19,7 @@ BENCH_PKGS ?= ./internal/coordinator ./internal/virtid ./internal/rank ./interna
 # gate there.
 MAX_REGRESS ?= 0.30
 
-.PHONY: all build test race lint fmt bench bench-sched bench-virtid bench-fleet bench-json bench-check run smoke smoke-matrix smoke-sweep
+.PHONY: all build test race lint fmt bench bench-sched bench-virtid bench-fleet bench-json bench-check run smoke smoke-matrix smoke-sweep smoke-faults
 
 all: build lint test
 
@@ -116,6 +116,28 @@ smoke-matrix:
 	      cmp /tmp/manasim-matrix1.txt /tmp/manasim-matrix3.txt; \
 	    done; \
 	  done; \
+	done
+
+# smoke-faults mirrors CI's fault-matrix job: every canned fault plan
+# under cmd/manasim/testdata/faults/ — single and multi-failure, torn
+# and corrupt images, restart-time double faults — runs twice and must
+# print byte-identical output, in three modes: serial, the sharded
+# parallel scheduler (-islands 8 -workers 4), and incremental images
+# (-incremental -full-every 2). The parallel run must also reproduce
+# the serial bytes exactly.
+smoke-faults:
+	$(GO) build -o /tmp/manasim-faults ./cmd/manasim
+	@set -e; \
+	for plan in cmd/manasim/testdata/faults/*.json; do \
+	  echo "smoke-faults: $$plan"; \
+	  /tmp/manasim-faults -faults $$plan > /tmp/manasim-faults1.txt; \
+	  /tmp/manasim-faults -faults $$plan > /tmp/manasim-faults2.txt; \
+	  cmp /tmp/manasim-faults1.txt /tmp/manasim-faults2.txt; \
+	  /tmp/manasim-faults -faults $$plan -islands 8 -workers 4 > /tmp/manasim-faults3.txt; \
+	  cmp /tmp/manasim-faults1.txt /tmp/manasim-faults3.txt; \
+	  /tmp/manasim-faults -faults $$plan -incremental -full-every 2 > /tmp/manasim-faults4.txt; \
+	  /tmp/manasim-faults -faults $$plan -incremental -full-every 2 > /tmp/manasim-faults5.txt; \
+	  cmp /tmp/manasim-faults4.txt /tmp/manasim-faults5.txt; \
 	done
 
 # smoke-sweep mirrors CI's fleet determinism check: a small -sweep grid

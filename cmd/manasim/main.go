@@ -20,6 +20,16 @@
 // the last image and runs to completion. Two consecutive invocations
 // with the same flags print byte-identical reports.
 //
+// Failure injection beyond that legacy single-crash knob is declarative:
+// -faults names a JSON fault plan (see internal/faultplan) whose ordered
+// injections anchor at checkpoint commits, drain starts, image writes,
+// virtual times or restart attempts, and whose kinds cover rank crashes,
+// torn image writes and silent page corruption. Restart verifies every
+// retained image chain and falls back across checkpoint generations to
+// the newest verifiable one; the report accounts the fallback depth,
+// lost work and verify cost. A plan replaces -fail-after/-fail-delay/
+// -no-fail and any plan the spec itself declares.
+//
 // With -workload overlap (alias for -spec overlap) the job instead
 // splits MPI_COMM_WORLD into two staggered sub-communicator layouts and
 // runs every step's collectives on them, so collectives on overlapping
@@ -33,7 +43,8 @@
 //	                     [-virtid sharded|mutex] [-spec <name|file.json>] [-group 4]
 //	                     [-trace job.trace] [-record job.trace]
 //	                     [-workload default|overlap]
-//	                     [-ckpt-at 5ms] [-fail-after 2] [-no-fail]
+//	                     [-ckpt-at 5ms] [-fail-after 2] [-fail-delay 250us] [-no-fail]
+//	                     [-faults plan.json]
 //	                     [-incremental] [-full-every 4]
 //	                     [-islands 8] [-workers 4]
 //	go run ./cmd/manasim -sweep [-sweep-specs default,overlap] [-sweep-ranks 4,8]
@@ -71,6 +82,7 @@ import (
 	"time"
 
 	"mana/internal/coordinator"
+	"mana/internal/faultplan"
 	"mana/internal/fleet"
 	"mana/internal/kernelsim"
 	"mana/internal/scenario"
@@ -83,19 +95,24 @@ import (
 // several flags are only meaningful in combination with others, and a
 // flag that would be silently ignored is rejected instead.
 type scenarioOpts struct {
-	Ranks       int
-	Steps       int
-	Seed        uint64
-	Kernel      string
-	Virtid      string
-	Spec        string
-	Trace       string
-	Record      string
-	Workload    string
-	GroupSize   int
-	CkptAt      time.Duration
-	FailAfter   int
-	NoFail      bool
+	Ranks     int
+	Steps     int
+	Seed      uint64
+	Kernel    string
+	Virtid    string
+	Spec      string
+	Trace     string
+	Record    string
+	Workload  string
+	GroupSize int
+	CkptAt    time.Duration
+	FailAfter int
+	FailDelay time.Duration
+	NoFail    bool
+	// Faults names a declarative fault-plan JSON file; it replaces the
+	// legacy -fail-after/-fail-delay/-no-fail trio and any plan the spec
+	// declares.
+	Faults      string
 	Incremental bool
 	FullEvery   int
 	Islands     int
@@ -117,6 +134,9 @@ type scenarioOpts struct {
 	TraceSet        bool
 	WorkloadSet     bool
 	GroupSet        bool
+	FailAfterSet    bool
+	FailDelaySet    bool
+	NoFailSet       bool
 	IslandsSet      bool
 	SweepWorkersSet bool
 }
@@ -134,6 +154,7 @@ func defaultScenario() scenarioOpts {
 		GroupSize: 4,
 		CkptAt:    5 * time.Millisecond,
 		FailAfter: 2,
+		FailDelay: 250 * time.Microsecond,
 		FullEvery: 4,
 		Workers:   1,
 	}
@@ -155,6 +176,78 @@ func resolveSpec(s scenarioOpts) (*scenario.Spec, error) {
 	default:
 		return nil, fmt.Errorf("unknown -workload %q (want default or overlap)", s.Workload)
 	}
+}
+
+// validateFailFlags rejects the legacy failure-flag combinations that
+// would otherwise be silently ignored, each by name.
+func validateFailFlags(s scenarioOpts) error {
+	if s.FailAfter < 0 {
+		return fmt.Errorf("-fail-after must be non-negative (got %d)", s.FailAfter)
+	}
+	if s.FailDelaySet {
+		switch {
+		case s.NoFail:
+			return fmt.Errorf("-fail-delay has no effect with -no-fail")
+		case !s.FailAfterSet:
+			return fmt.Errorf("-fail-delay has no effect without -fail-after")
+		}
+		if s.FailDelay <= 0 {
+			return fmt.Errorf("-fail-delay must be positive (got %v)", s.FailDelay)
+		}
+	}
+	if s.FailAfterSet && s.NoFail {
+		return fmt.Errorf("-fail-after has no effect with -no-fail")
+	}
+	return nil
+}
+
+// loadFaultPlan reads and validates the -faults plan file, first
+// rejecting the legacy failure flags the plan replaces: a flag the plan
+// would silently override is an error, not a layered knob.
+func loadFaultPlan(s scenarioOpts) (*faultplan.Plan, error) {
+	if s.Faults == "" {
+		return nil, nil
+	}
+	switch {
+	case s.FailAfterSet:
+		return nil, fmt.Errorf("-fail-after cannot be combined with -faults (the plan owns failure injection)")
+	case s.FailDelaySet:
+		return nil, fmt.Errorf("-fail-delay cannot be combined with -faults (the plan owns failure injection)")
+	case s.NoFailSet:
+		return nil, fmt.Errorf("-no-fail cannot be combined with -faults (run without a plan instead)")
+	}
+	data, err := os.ReadFile(s.Faults)
+	if err != nil {
+		return nil, fmt.Errorf("-faults: %w", err)
+	}
+	plan, err := faultplan.Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("-faults %s: %w", s.Faults, err)
+	}
+	return plan, nil
+}
+
+// applyFaults wires the effective fault source into the config: a
+// declarative plan (from -faults or the spec) compiled against the
+// job's rank count, or the legacy -fail-after/-fail-delay pair.
+func applyFaults(cfg *coordinator.Config, s scenarioOpts, plan *faultplan.Plan) error {
+	if plan != nil {
+		faults, err := plan.Compile(cfg.Ranks)
+		if err != nil {
+			return err
+		}
+		cfg.Faults = faults
+		cfg.FailAtCheckpoint = 0
+		if plan.MaxRestarts > 0 {
+			cfg.MaxRestarts = plan.MaxRestarts
+		}
+		return nil
+	}
+	if !s.NoFail {
+		cfg.FailAtCheckpoint = s.FailAfter
+		cfg.FailDelay = vtime.Duration(s.FailDelay)
+	}
+	return nil
 }
 
 // buildConfig validates the scenario and translates it into a
@@ -207,6 +300,13 @@ func buildConfig(s scenarioOpts) (coordinator.Config, error) {
 	if s.Workers < 1 {
 		return cfg, fmt.Errorf("-workers must be at least 1 (got %d)", s.Workers)
 	}
+	plan, err := loadFaultPlan(s)
+	if err != nil {
+		return cfg, err
+	}
+	if err := validateFailFlags(s); err != nil {
+		return cfg, err
+	}
 
 	cfg = coordinator.DefaultConfig()
 	cfg.Ranks = s.Ranks
@@ -245,8 +345,8 @@ func buildConfig(s scenarioOpts) (coordinator.Config, error) {
 		cfg.Ranks = len(progs)
 		cfg.Programs = progs
 		cfg.Triggers = fleet.Triggers(nil, vtime.Time(s.CkptAt))
-		if !s.NoFail {
-			cfg.FailAtCheckpoint = s.FailAfter
+		if err := applyFaults(&cfg, s, plan); err != nil {
+			return cfg, err
 		}
 		if s.Workers > 1 && cfg.Islands <= 1 {
 			return cfg, fmt.Errorf("-workers %d has no effect without -islands of at least 2 (workers drain island lanes in parallel)", s.Workers)
@@ -277,8 +377,22 @@ func buildConfig(s scenarioOpts) (coordinator.Config, error) {
 	}
 	cfg.Programs = progs
 	cfg.Triggers = fleet.Triggers(spec.Checkpoints, vtime.Time(s.CkptAt))
-	if !s.NoFail {
-		cfg.FailAtCheckpoint = s.FailAfter
+	if plan == nil && spec.Faults != nil {
+		// The spec's own plan takes over from the legacy flags; a legacy
+		// flag passed explicitly would be silently ignored, so reject it
+		// by name (-faults overrides the spec's plan outright).
+		switch {
+		case s.FailAfterSet:
+			return cfg, fmt.Errorf("-fail-after has no effect on spec %q: it declares its own fault plan (override with -faults)", spec.Name)
+		case s.FailDelaySet:
+			return cfg, fmt.Errorf("-fail-delay has no effect on spec %q: it declares its own fault plan (override with -faults)", spec.Name)
+		case s.NoFailSet:
+			return cfg, fmt.Errorf("-no-fail has no effect on spec %q: it declares its own fault plan (override with -faults)", spec.Name)
+		}
+		plan = spec.Faults
+	}
+	if err := applyFaults(&cfg, s, plan); err != nil {
+		return cfg, err
 	}
 	if !s.IslandsSet && spec.Islands > 0 {
 		// The spec's lane-count hint applies unless the CLI overrides it.
@@ -344,6 +458,13 @@ func buildSweep(s scenarioOpts) (fleet.Sweep, error) {
 		personality = kernelsim.Patched
 	default:
 		return sw, fmt.Errorf("unknown -kernel %q (want unpatched or patched)", s.Kernel)
+	}
+	plan, err := loadFaultPlan(s)
+	if err != nil {
+		return sw, err
+	}
+	if err := validateFailFlags(s); err != nil {
+		return sw, err
 	}
 
 	// Dimensions: each defaults to the single value its single-run
@@ -423,12 +544,14 @@ func buildSweep(s scenarioOpts) (fleet.Sweep, error) {
 		Steps:     s.Steps,
 		Seed:      s.Seed,
 		Kernel:    personality,
+		Faults:    plan,
 		FullEvery: s.FullEvery,
 		Islands:   s.Islands,
 		Workers:   s.Workers,
 	}
-	if !s.NoFail {
+	if plan == nil && !s.NoFail {
 		sw.Base.FailAfter = s.FailAfter
+		sw.Base.FailDelay = vtime.Duration(s.FailDelay)
 	}
 	sw.PoolWorkers = s.SweepWorkers
 	return sw, nil
@@ -478,7 +601,9 @@ func main() {
 	flag.IntVar(&s.GroupSize, "group", def.GroupSize, "sub-communicator group width, for specs that split communicators (e.g. overlap)")
 	flag.DurationVar(&s.CkptAt, "ckpt-at", def.CkptAt, "virtual time of the first checkpoint request")
 	flag.IntVar(&s.FailAfter, "fail-after", def.FailAfter, "inject a failure after this checkpoint commits (0 = never)")
+	flag.DurationVar(&s.FailDelay, "fail-delay", def.FailDelay, "with -fail-after: virtual-time delay between the commit and the injected failure")
 	flag.BoolVar(&s.NoFail, "no-fail", def.NoFail, "disable the failure/restart scenario")
+	flag.StringVar(&s.Faults, "faults", "", "fault-plan JSON file; replaces -fail-after/-fail-delay/-no-fail and any plan the spec declares")
 	flag.BoolVar(&s.Incremental, "incremental", def.Incremental, "write incremental (dirty-page delta) checkpoint images after the first full one")
 	flag.IntVar(&s.FullEvery, "full-every", def.FullEvery, "with -incremental, write a full image every Nth checkpoint (0 = only the first)")
 	flag.IntVar(&s.Islands, "islands", def.Islands, "partition ranks across this many event-queue lanes (0 = spec hint or serial); never changes the report")
@@ -505,6 +630,12 @@ func main() {
 			s.WorkloadSet = true
 		case "group":
 			s.GroupSet = true
+		case "fail-after":
+			s.FailAfterSet = true
+		case "fail-delay":
+			s.FailDelaySet = true
+		case "no-fail":
+			s.NoFailSet = true
 		case "islands":
 			s.IslandsSet = true
 		case "sweep-workers":

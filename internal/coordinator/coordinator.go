@@ -58,12 +58,14 @@
 package coordinator
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"sort"
 	"strings"
 
+	"mana/internal/faultplan"
 	"mana/internal/kernelsim"
 	"mana/internal/memsim"
 	"mana/internal/netsim"
@@ -153,9 +155,24 @@ type Config struct {
 	// of virtual time after checkpoint number FailAtCheckpoint commits;
 	// Run then returns Failed and the caller restarts from the last
 	// image. The delay is virtual time, not scheduler iterations: under
-	// event dispatch "iterations" is not a meaningful unit.
+	// event dispatch "iterations" is not a meaningful unit. Internally it
+	// compiles to a one-fault plan appended to Faults — the declarative
+	// engine is the only failure machinery.
 	FailAtCheckpoint int
 	FailDelay        vtime.Duration
+	// Faults is the compiled fault plan: an ordered list of one-shot
+	// injections at named protocol points (faultplan.Compile output).
+	Faults []faultplan.Fault
+	// RetainGenerations is how many full checkpoint generations are kept
+	// on the simulated filesystem beyond the newest; restart falls back
+	// through them when the newest links fail verification. BaseConfig
+	// sets 2; zero retains only the newest generation (the legacy
+	// behaviour).
+	RetainGenerations int
+	// MaxRestarts bounds the fleet engine's restart retry loop (failed
+	// restart attempts included); the engine returns ErrRestartsExhausted
+	// past it. Zero or negative means unbounded. BaseConfig sets 8.
+	MaxRestarts int
 
 	// Scratch, when non-nil, lends recycled allocations (event-queue
 	// lanes, collective rendezvous storage, memsim buffers) to this run
@@ -188,7 +205,9 @@ func BaseConfig() Config {
 		// granularity one full-scan iteration advanced virtual time by
 		// roughly one compute phase (~250us), so the failure lands a few
 		// application steps after the checkpoint commits.
-		FailDelay: 250 * vtime.Microsecond,
+		FailDelay:         250 * vtime.Microsecond,
+		RetainGenerations: 2,
+		MaxRestarts:       8,
 	}
 }
 
@@ -266,6 +285,12 @@ type CheckpointRecord struct {
 	DrainPlanned int
 	OverlapWidth int
 	DrainEvents  uint64
+	// TornImages counts per-rank images whose PFS write was interrupted by
+	// an injected torn-write fault (Complete == false, partial payload);
+	// CorruptPages counts pages silently damaged by injected
+	// page-corruption faults. Both zero for a clean checkpoint.
+	TornImages   int
+	CorruptPages int
 	// Fingerprint digests every rank's image for determinism checks.
 	Fingerprint uint64
 }
@@ -278,39 +303,65 @@ func (r CheckpointRecord) DedupRatio() float64 {
 	return float64(r.DedupBytes) / float64(r.DirtyBytes)
 }
 
-// RestartRecord describes one restart.
+// RestartRecord describes one successful restart.
 type RestartRecord struct {
 	FromSeq int
 	// ResumeClock is the restored maximum rank clock.
 	ResumeClock vtime.Time
+	// FallbackDepth is how many committed checkpoints the restore point
+	// sits behind the newest (0 = restored from the newest link; each
+	// torn, corrupt or poisoned link walks it one deeper).
+	FallbackDepth int
+	// LostWork is the virtual application time the fallback discards: the
+	// dead timeline's high-water clock minus the restored clock — work the
+	// replay must recompute.
+	LostWork vtime.Duration
+	// TornLinks and CorruptLinks count chain links rejected during the
+	// verification walk (across retried attempts of this restart);
+	// VerifiedPages and VerifyTime account the per-page FNV rehash cost
+	// the walk charged to the ranks' checkpoint-overhead clocks.
+	TornLinks     int
+	CorruptLinks  int
+	VerifiedPages int
+	VerifyTime    vtime.Duration
 }
 
 // request is one in-flight checkpoint request.
 type request struct {
 	at            vtime.Time
 	midCollective bool
+	// trigger is the index of the trigger that fired this request, so a
+	// restart can un-consume triggers whose checkpoint never committed.
+	trigger int
 }
 
-// committed holds the last committed checkpoint chain, from which Restart
-// rebuilds the job: chain[0] is the most recent full image generation,
-// every later element an incremental generation on top of its
-// predecessor. The small state (clocks, counters) of the newest link is
-// what restart resumes from; restart reads every link, which is why
-// Config.FullImageEvery bounds the chain length.
-type committed struct {
+// chainLink is one committed checkpoint: the per-rank images plus the
+// network counter snapshot taken at its commit point, so restart can
+// resume from any verified link of a chain, not only the newest.
+type chainLink struct {
 	seq      int
-	chain    [][]rank.Image
+	images   []rank.Image
 	counters netsim.Counters
 }
 
-// materialize folds rank i's base+delta chain into one full image and
-// returns it together with the bytes restart had to read to do so.
-func (c *committed) materialize(i int) (rank.Image, uint64) {
-	img := c.chain[0][i]
+// generation is one full-image checkpoint plus the incremental links
+// committed on top of it: links[0] is always full, every later link a
+// delta onto its predecessor. The coordinator retains the newest
+// generation plus Config.RetainGenerations older ones, and restart walks
+// them newest-first to the newest verifiable restore point.
+type generation struct {
+	links []chainLink
+}
+
+// materializeLink folds rank i's image chain up to (and including) link
+// index li into one full image, returning it together with the bytes
+// restart had to read to do so.
+func (g *generation) materializeLink(li, i int) (rank.Image, uint64) {
+	img := g.links[0].images[i]
 	readBytes := img.Bytes()
-	for _, gen := range c.chain[1:] {
-		readBytes += gen[i].Bytes()
-		img = rank.Overlay(img, gen[i])
+	for _, link := range g.links[1 : li+1] {
+		readBytes += link.images[i].Bytes()
+		img = rank.Overlay(img, link.images[i])
 	}
 	return img, readBytes
 }
@@ -339,7 +390,7 @@ type event struct {
 	kind       eventKind
 	rank       int             // evRankReady
 	msg        *netsim.Message // evDelivery
-	trigger    int             // evTrigger: index into cfg.Triggers
+	trigger    int             // evTrigger: index into cfg.Triggers; evFail: index into faults
 	completion vtime.Time      // evCollectiveDone
 	comm       int             // evCollectiveDone: communicator the collective ran over
 	seq        uint64          // evCollectiveDone: forming-instance number (staleness guard)
@@ -449,7 +500,28 @@ type Coordinator struct {
 
 	records  []CheckpointRecord
 	restarts []RestartRecord
-	last     *committed
+	// gens holds the retained committed generations, oldest first; the
+	// last element is the chain new deltas extend. Empty until the first
+	// checkpoint commits.
+	gens []*generation
+
+	// Fault-plan state: faults is the compiled plan (legacy
+	// FailAtCheckpoint appended as a one-fault plan), faultFired marks
+	// each as consumed (every fault is one-shot), poisoned records the
+	// checkpoint seqs an injected restart fault destroyed mid-restore, and
+	// restartAttempts counts Restart calls (failed ones included) — the
+	// ordinal restart faults key on. pendTorn/pendCorrupt/pendVerifyPages/
+	// pendVerifyTime accumulate verification-walk accounting across the
+	// failed attempts of one restart, folded into the RestartRecord of the
+	// attempt that succeeds.
+	faults          []faultplan.Fault
+	faultFired      []bool
+	poisoned        map[int]bool
+	restartAttempts int
+	pendTorn        int
+	pendCorrupt     int
+	pendVerifyPages int
+	pendVerifyTime  vtime.Duration
 
 	// events counts dispatched queue events; rankVisits counts how many
 	// times the scheduler touched a rank (op execution, wake attempt,
@@ -536,6 +608,28 @@ func New(cfg Config) *Coordinator {
 	c.net.SetDeliveryScheduler(c)
 	for i, t := range c.triggers {
 		c.queues.Push(c.globalLane(), t.At, event{kind: evTrigger, trigger: i})
+	}
+	// The fault plan: the legacy FailAtCheckpoint/FailDelay pair compiles
+	// to a one-fault plan appended after the declarative faults, so the
+	// two mechanisms are one engine. Virtual-time faults are scheduled up
+	// front like triggers — on the global lane, so parallel windows never
+	// run past one.
+	c.faults = append(c.faults, cfg.Faults...)
+	if cfg.FailAtCheckpoint > 0 {
+		c.faults = append(c.faults, faultplan.Fault{
+			Anchor: faultplan.AtCheckpointCommit,
+			N:      cfg.FailAtCheckpoint,
+			Kind:   faultplan.RankCrash,
+			Delay:  cfg.FailDelay,
+		})
+	}
+	if len(c.faults) > 0 {
+		c.faultFired = make([]bool, len(c.faults))
+	}
+	for i, f := range c.faults {
+		if f.Anchor == faultplan.AtVirtualTime {
+			c.queues.Push(c.globalLane(), f.Time, event{kind: evFail, trigger: i})
+		}
 	}
 	for id := 0; id < cfg.Ranks; id++ {
 		r := rank.NewPooled(id, cfg.Personality, cfg.Virtid, cfg.Programs[id], c.mempool)
@@ -669,7 +763,7 @@ func (c *Coordinator) allDone() bool { return c.doneCount == c.cfg.Ranks }
 func (c *Coordinator) fireTrigger(i int) {
 	c.fired[i] = true
 	c.unfired--
-	c.pending = append(c.pending, request{at: c.maxClock, midCollective: c.collectiveInProgress()})
+	c.pending = append(c.pending, request{at: c.maxClock, midCollective: c.collectiveInProgress(), trigger: i})
 }
 
 // armTrigger handles trigger i's At time coming due: plain virtual-time
@@ -959,6 +1053,11 @@ func (c *Coordinator) dispatch(ev event) (failed bool) {
 	case evTrigger:
 		c.armTrigger(ev.trigger)
 	case evFail:
+		// Faults are one-shot: ordinal-anchored crashes were marked
+		// consumed when scheduled; a virtual-time crash is consumed here,
+		// so the restarted timeline replays through its firing point
+		// without dying again.
+		c.faultFired[ev.trigger] = true
 		return true
 	}
 	return false
@@ -980,8 +1079,15 @@ func (c *Coordinator) dispatch(ev event) (failed bool) {
 func (c *Coordinator) Run() (Outcome, error) {
 	for {
 		for len(c.pending) > 0 && c.atSafePoint() {
-			if err := c.checkpoint(); err != nil {
+			crashed, err := c.checkpoint()
+			if err != nil {
 				return Failed, err
+			}
+			if crashed {
+				// A torn-write fault: the job died mid-image-write. The
+				// partial link is committed (it is on the filesystem) but
+				// restart verification will reject it.
+				return Failed, nil
 			}
 		}
 		if len(c.pending) > 0 && !c.draining {
@@ -1094,10 +1200,10 @@ func (c *Coordinator) drain(rec *CheckpointRecord) error {
 // and when the FullImageEvery cadence has not come due (each full image
 // starts a new chain, bounding how many links a restart must read).
 func (c *Coordinator) wantIncremental() bool {
-	if !c.cfg.Incremental || c.last == nil {
+	if !c.cfg.Incremental || len(c.gens) == 0 {
 		return false
 	}
-	if c.cfg.FullImageEvery > 0 && len(c.last.chain) >= c.cfg.FullImageEvery {
+	if c.cfg.FullImageEvery > 0 && len(c.gens[len(c.gens)-1].links) >= c.cfg.FullImageEvery {
 		return false
 	}
 	return true
@@ -1120,8 +1226,10 @@ func (c *Coordinator) captureStage(r *rank.Rank, incremental bool, seq int) rank
 }
 
 // accountStage folds one image's size accounting into the record.
+// ImageBytes counts what actually reached the filesystem, so a torn image
+// contributes only its partial written size.
 func (c *Coordinator) accountStage(img rank.Image, rec *CheckpointRecord) {
-	rec.ImageBytes += img.Bytes()
+	rec.ImageBytes += img.WrittenBytes
 	rec.FullBytes += img.FullBytes()
 	if img.Full {
 		rec.FullImages++
@@ -1134,10 +1242,11 @@ func (c *Coordinator) accountStage(img rank.Image, rec *CheckpointRecord) {
 }
 
 // writeStage charges one rank's PFS image write — per byte actually
-// carried, so incremental checkpoints pay for dirty pages only — with the
-// §3.4 straggler model applied on top.
+// carried, so incremental checkpoints pay for dirty pages only and a torn
+// write pays only up to the tear — with the §3.4 straggler model applied
+// on top.
 func (c *Coordinator) writeStage(r *rank.Rank, img rank.Image, rec *CheckpointRecord) {
-	writeTime := ioTime(img.Bytes(), c.cfg.CkptWriteBandwidth)
+	writeTime := ioTime(img.WrittenBytes, c.cfg.CkptWriteBandwidth)
 	if c.cfg.StragglerP > 0 {
 		writeTime = vtime.Duration(float64(writeTime) * c.rng.Straggler(c.cfg.StragglerP, c.cfg.StragglerMax))
 	}
@@ -1152,6 +1261,13 @@ func (c *Coordinator) writeStage(r *rank.Rank, img rank.Image, rec *CheckpointRe
 // pages by index, virtid entries by virtual id), so the digest is
 // deterministic across runs.
 func (c *Coordinator) digestImage(h io.Writer, img rank.Image) {
+	if !img.Complete {
+		// A torn image digests its partial size so two runs of the same
+		// fault plan fingerprint identically while differing from the
+		// clean image. Content hashes below come from the capture-time
+		// memos either way.
+		fmt.Fprintf(h, "torn(%d/%d);", img.WrittenBytes, img.Bytes())
+	}
 	if img.Full {
 		fmt.Fprintf(h, "%d:%d:%d:%x:%+v;", img.RankID, img.PC, img.Clock, img.Mem.Fingerprint(), img.Stats)
 	} else {
@@ -1183,32 +1299,42 @@ func (c *Coordinator) digestImage(h io.Writer, img rank.Image) {
 	}
 }
 
-// commitStage installs the captured generation as the newest committed
-// state: full generations start a fresh chain, incremental ones extend
-// it. A generation must be uniformly full or uniformly delta — ranks are
-// constructed, checkpointed and restored together, so a mix means the
-// coordinator's mode decision and the ranks' fallback logic disagree.
+// commitStage installs the captured link as the newest committed state:
+// a full link starts a fresh generation (trimming the retained set to
+// Config.RetainGenerations older ones), an incremental link extends the
+// newest generation's chain. A link must be uniformly full or uniformly
+// delta — ranks are constructed, checkpointed and restored together, so a
+// mix means the coordinator's mode decision and the ranks' fallback logic
+// disagree.
 func (c *Coordinator) commitStage(images []rank.Image, rec *CheckpointRecord) {
 	for _, img := range images[1:] {
 		if img.Full != images[0].Full {
 			panic(fmt.Sprintf("coordinator: checkpoint #%d mixes full and delta images", rec.Seq))
 		}
 	}
-	counters := c.net.CountersSnapshot()
-	if images[0].Full || c.last == nil {
-		c.last = &committed{seq: rec.Seq, chain: [][]rank.Image{images}, counters: counters}
+	link := chainLink{seq: rec.Seq, images: images, counters: c.net.CountersSnapshot()}
+	if images[0].Full || len(c.gens) == 0 {
+		c.gens = append(c.gens, &generation{links: []chainLink{link}})
+		keep := c.cfg.RetainGenerations + 1
+		if keep < 1 {
+			keep = 1
+		}
+		if drop := len(c.gens) - keep; drop > 0 {
+			c.gens = append(c.gens[:0], c.gens[drop:]...)
+		}
 		return
 	}
-	c.last.seq = rec.Seq
-	c.last.chain = append(c.last.chain, images)
-	c.last.counters = counters
+	g := c.gens[len(c.gens)-1]
+	g.links = append(g.links, link)
 }
 
 // checkpoint services the oldest pending request with the two-phase
 // protocol. The caller guarantees the job is at a safe point. Ranks left
 // blocked in a receive whose message was drained into their inbox are
-// woken by the message's still-queued delivery event.
-func (c *Coordinator) checkpoint() error {
+// woken by the message's still-queued delivery event. crashed reports
+// that an image-write fault killed the job during the commit — the
+// partial link is committed, and the caller must stop the run.
+func (c *Coordinator) checkpoint() (crashed bool, err error) {
 	req := c.pending[0]
 	c.pending = c.pending[1:]
 	rec := CheckpointRecord{
@@ -1231,64 +1357,165 @@ func (c *Coordinator) checkpoint() error {
 		r.ChargeCkptOverhead(r.Kernel().CheckpointSignalCost())
 	}
 	if err := c.drain(&rec); err != nil {
-		return err
+		return false, err
 	}
 	if got := c.net.InFlight(); got != 0 {
-		return fmt.Errorf("coordinator: %d messages in flight after drain", got)
+		return false, fmt.Errorf("coordinator: %d messages in flight after drain", got)
 	}
 	rec.SafeAt = c.MaxClock()
 	rec.DeferredFor = rec.SafeAt.Sub(rec.RequestedAt)
 
 	// Phase 2: the commit pipeline — capture, dedup accounting, write —
 	// run rank by rank in rank order, so no map order reaches the record.
+	// Capture runs first for every rank so image-write faults (torn or
+	// corrupted links) can damage the captured payloads before accounting,
+	// write charging and digesting see them; for a clean checkpoint the
+	// split loop is byte-identical to the fused one (captures do not
+	// interact across ranks, and the straggler RNG draws stay in rank
+	// order).
 	incremental := c.wantIncremental()
 	images := make([]rank.Image, len(c.ranks))
+	for i, r := range c.ranks {
+		images[i] = c.captureStage(r, incremental, rec.Seq)
+	}
+	crashed = c.applyImageFaults(images, &rec)
 	h := fnv.New64a()
 	for i, r := range c.ranks {
-		img := c.captureStage(r, incremental, rec.Seq)
-		c.accountStage(img, &rec)
-		c.writeStage(r, img, &rec)
-		c.digestImage(h, img)
-		images[i] = img
+		c.accountStage(images[i], &rec)
+		c.writeStage(r, images[i], &rec)
+		c.digestImage(h, images[i])
 	}
 	rec.Fingerprint = h.Sum64()
 	c.commitStage(images, &rec)
 	c.records = append(c.records, rec)
 
-	if c.cfg.FailAtCheckpoint == rec.Seq {
-		// The failure is an event like everything else: it fires FailDelay
-		// of virtual time after the commit point. It lives on the global
-		// lane, so parallel windows never run past it — exactly the
-		// events a serial run would have processed before the failure
-		// are processed before it here.
-		c.queues.Push(c.globalLane(), rec.SafeAt.Add(c.cfg.FailDelay), event{kind: evFail})
+	// Checkpoint-commit crashes are events like everything else: each
+	// fires its delay of virtual time after the commit point. They live
+	// on the global lane, so parallel windows never run past one —
+	// exactly the events a serial run would have processed before the
+	// failure are processed before it here.
+	for i, f := range c.faults {
+		if !c.faultFired[i] && f.Anchor == faultplan.AtCheckpointCommit && f.N == rec.Seq {
+			c.faultFired[i] = true
+			c.queues.Push(c.globalLane(), rec.SafeAt.Add(f.Delay), event{kind: evFail, trigger: i})
+		}
 	}
-	return nil
+	return crashed, nil
 }
 
-// Restart rebuilds the job from the last committed checkpoint: every
-// rank discards its lower half, bootstraps a fresh one, replays the
-// saved upper-half region map and resumes its clock, program counter and
-// drained-message buffer; the network counters are restored and its
-// queues cleared (the image was taken on a quiescent network). An
-// incremental checkpoint is materialised first — the base full image
-// overlaid with every delta generation in commit order, reading each link
-// off the parallel filesystem (the read time restart is charged for,
+// applyImageFaults fires the image-write faults anchored to this
+// checkpoint: a torn-write truncates the target rank's image at a
+// byte-accurate partial size and kills the job at the commit point
+// (crashed=true), a page-corruption silently damages the payload — the
+// capture-time hash memos go stale, which is exactly what restart
+// verification later trips over. Full-image corruption deep-copies the
+// touched regions first (snapshot payloads alias live sealed slices).
+func (c *Coordinator) applyImageFaults(images []rank.Image, rec *CheckpointRecord) (crashed bool) {
+	for i, f := range c.faults {
+		if c.faultFired[i] || f.Anchor != faultplan.AtImageWrite || f.N != rec.Seq {
+			continue
+		}
+		c.faultFired[i] = true
+		img := &images[f.Rank]
+		switch f.Kind {
+		case faultplan.TornWrite:
+			total := img.Bytes()
+			written := total / 2
+			if f.Pages > 0 {
+				written = uint64(f.Pages) * memsim.PageSize
+			}
+			if written > total {
+				written = total
+			}
+			img.Complete = false
+			img.WrittenBytes = written
+			rec.TornImages++
+			crashed = true
+		case faultplan.PageCorruption:
+			if img.Full {
+				rec.CorruptPages += memsim.CorruptSnapshot(&img.Mem, f.Pages)
+			} else {
+				rec.CorruptPages += memsim.CorruptDelta(&img.Delta, f.Pages)
+			}
+		}
+	}
+	return crashed
+}
+
+// ErrRestartFault and ErrNoVerifiableGeneration are the named failures of
+// the restart path. ErrRestartFault marks a restart attempt killed by an
+// injected restart fault after its restore point was chosen — the link
+// being read is destroyed, and the caller retries to fall back past it.
+// ErrNoVerifiableGeneration means the verification walk rejected every
+// retained link (torn, corrupt or poisoned): nothing on the simulated
+// filesystem can be trusted, so the job is unrecoverable.
+var (
+	ErrRestartFault           = errors.New("coordinator: injected restart fault")
+	ErrNoVerifiableGeneration = errors.New("coordinator: no verifiable checkpoint generation")
+)
+
+// Restart rebuilds the job from the newest verifiable committed
+// checkpoint. The retained generations are walked newest-first; within
+// each, the usable chain is the longest prefix of links every one of
+// whose per-rank images verifies — torn links (partial writes) are
+// rejected outright, corrupt ones by rehashing every carried page or
+// region with the FNV digests recorded at capture (the verify cost is
+// charged to the ranks' checkpoint-overhead clocks). A generation whose
+// full link fails contributes nothing and the walk falls back a whole
+// generation; when every retained link is rejected, Restart returns
+// ErrNoVerifiableGeneration.
+//
+// From the chosen link, every rank discards its lower half, bootstraps a
+// fresh one, replays the saved upper-half region map and resumes its
+// clock, program counter and drained-message buffer; the network counters
+// are restored and its queues cleared (the image was taken on a quiescent
+// network). An incremental link is materialised first — the base full
+// image overlaid with every verified delta in commit order, reading each
+// link off the parallel filesystem (the read time restart is charged for,
 // which is why FullImageEvery bounds the chain). The event queue is
 // cleared — ready, delivery, collective and failure events all referenced
 // the abandoned timeline — and reseeded from the restored state: one
-// ready event per unfinished rank plus the unfired triggers.
+// ready event per unfinished rank plus the unfired triggers and unfired
+// virtual-time faults.
 func (c *Coordinator) Restart() error {
-	if c.last == nil {
+	if len(c.gens) == 0 {
 		return fmt.Errorf("coordinator: no committed checkpoint to restart from")
 	}
+	c.restartAttempts++
+	newest := c.newestSeq()
+	gi, prefix := -1, 0
+	for g := len(c.gens) - 1; g >= 0 && prefix == 0; g-- {
+		prefix = c.verifyPrefix(c.gens[g])
+		gi = g
+	}
+	if prefix == 0 {
+		return fmt.Errorf("coordinator: %d generations retained, newest committed #%d: %w",
+			len(c.gens), newest, ErrNoVerifiableGeneration)
+	}
+	g := c.gens[gi]
+	link := &g.links[prefix-1]
+	for i, f := range c.faults {
+		if !c.faultFired[i] && f.Anchor == faultplan.AtRestart && f.N == c.restartAttempts {
+			// The restart process itself crashes while reading the chosen
+			// link, destroying it: poison the seq so the retry's walk falls
+			// back past it. Verification work already done stays charged
+			// and is folded into the record of the attempt that succeeds.
+			c.faultFired[i] = true
+			if c.poisoned == nil {
+				c.poisoned = make(map[int]bool)
+			}
+			c.poisoned[link.seq] = true
+			return fmt.Errorf("coordinator: restart from checkpoint #%d crashed mid-restore: %w", link.seq, ErrRestartFault)
+		}
+	}
+	preClock := c.maxClock
 	for i, r := range c.ranks {
-		img, readBytes := c.last.materialize(i)
+		img, readBytes := g.materializeLink(prefix-1, i)
 		readTime := ioTime(readBytes, c.cfg.CkptReadBandwidth)
 		r.Restore(img)
 		r.ChargeCkptOverhead(r.Kernel().RestartReinitCost() + readTime)
 	}
-	c.net.Restore(c.last.counters)
+	c.net.Restore(link.counters)
 	// In-flight collectives and any drain in progress belonged to the
 	// abandoned timeline: clear the rendezvous state and rebuild the
 	// communicator registry from the restored images (sub-communicators
@@ -1304,15 +1531,26 @@ func (c *Coordinator) Restart() error {
 	c.rebuildComms()
 	// Checkpoint requests fired in the abandoned timeline die with it: a
 	// request references scheduler state (clocks, collective progress)
-	// that no longer exists after the rollback. The triggers themselves
-	// stay consumed — they described the dead epoch. Unfired triggers are
-	// rescheduled so they can still come due in the new timeline.
+	// that no longer exists after the rollback. But a request whose
+	// checkpoint never committed — the job crashed mid-drain or
+	// mid-write — is still owed: its trigger is un-consumed so the
+	// checkpoint (and its drain plan) is rebuilt in the new timeline.
+	// Triggers whose checkpoints committed stay consumed.
+	for _, req := range c.pending {
+		c.fired[req.trigger] = false
+		c.unfired++
+	}
 	c.pending = nil
 	c.armed = c.armed[:0]
 	c.queues.Clear()
 	for i, t := range c.triggers {
 		if !c.fired[i] {
 			c.queues.Push(c.globalLane(), t.At, event{kind: evTrigger, trigger: i})
+		}
+	}
+	for i, f := range c.faults {
+		if !c.faultFired[i] && f.Anchor == faultplan.AtVirtualTime {
+			c.queues.Push(c.globalLane(), f.Time, event{kind: evFail, trigger: i})
 		}
 	}
 	c.doneCount = 0
@@ -1324,8 +1562,71 @@ func (c *Coordinator) Restart() error {
 		}
 	}
 	c.maxClock = c.MaxClock()
-	c.restarts = append(c.restarts, RestartRecord{FromSeq: c.last.seq, ResumeClock: c.maxClock})
+	// Everything newer than the restore point failed verification or was
+	// poisoned — drop it so the next committed delta chains onto what was
+	// actually restored.
+	g.links = g.links[:prefix]
+	c.gens = c.gens[:gi+1]
+	rec := RestartRecord{
+		FromSeq:       link.seq,
+		ResumeClock:   c.maxClock,
+		FallbackDepth: newest - link.seq,
+		TornLinks:     c.pendTorn,
+		CorruptLinks:  c.pendCorrupt,
+		VerifiedPages: c.pendVerifyPages,
+		VerifyTime:    c.pendVerifyTime,
+	}
+	if preClock > c.maxClock {
+		rec.LostWork = preClock.Sub(c.maxClock)
+	}
+	c.pendTorn, c.pendCorrupt, c.pendVerifyPages, c.pendVerifyTime = 0, 0, 0, 0
+	c.restarts = append(c.restarts, rec)
 	return nil
+}
+
+// newestSeq returns the newest committed checkpoint's sequence number.
+// The caller guarantees at least one committed generation.
+func (c *Coordinator) newestSeq() int {
+	g := c.gens[len(c.gens)-1]
+	return g.links[len(g.links)-1].seq
+}
+
+// verifyPrefix returns the length of the longest usable prefix of the
+// generation's links, stopping at the first poisoned, torn or corrupt
+// link. Every page of every image checked is rehashed at the kernel's
+// per-page hash rate, charged to the owning rank's checkpoint-overhead
+// clock and accumulated for the restart record; iteration is links
+// ascending, ranks ascending, so the charges are deterministic.
+func (c *Coordinator) verifyPrefix(g *generation) int {
+	n := 0
+	for li := range g.links {
+		link := &g.links[li]
+		if c.poisoned[link.seq] {
+			break
+		}
+		ok := true
+		for i, r := range c.ranks {
+			pages, err := rank.VerifyImage(link.images[i])
+			cost := vtime.Duration(pages) * r.Kernel().PageHashCost()
+			r.ChargeCkptOverhead(cost)
+			c.pendVerifyPages += pages
+			c.pendVerifyTime += cost
+			if err != nil {
+				if !link.images[i].Complete {
+					c.pendTorn++
+				} else {
+					c.pendCorrupt++
+				}
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	return n
 }
 
 // rebuildComms reconstructs the communicator registry from the restored
@@ -1424,12 +1725,18 @@ func (c *Coordinator) WriteReport(w io.Writer) {
 			rec.FullBytes, rec.DirtyBytes, rec.DedupRatio())
 		fmt.Fprintf(w, "     coll-drain: planned=%d overlap-width=%d drain-events=%d\n",
 			rec.DrainPlanned, rec.OverlapWidth, rec.DrainEvents)
+		if rec.TornImages > 0 || rec.CorruptPages > 0 {
+			fmt.Fprintf(w, "     faults: torn-images=%d corrupt-pages=%d\n",
+				rec.TornImages, rec.CorruptPages)
+		}
 	}
 
 	if len(c.restarts) > 0 {
 		fmt.Fprintf(w, "\nrestarts: %d\n", len(c.restarts))
 		for _, rs := range c.restarts {
 			fmt.Fprintf(w, "  restored from checkpoint #%d, resumed at vtime %v\n", rs.FromSeq, rs.ResumeClock)
+			fmt.Fprintf(w, "     fallback-depth=%d lost-work=%v verified %d pages in %v (torn-links=%d corrupt-links=%d)\n",
+				rs.FallbackDepth, rs.LostWork, rs.VerifiedPages, rs.VerifyTime, rs.TornLinks, rs.CorruptLinks)
 		}
 	}
 

@@ -245,10 +245,14 @@ func TestReportByteIdentical(t *testing.T) {
 }
 
 // TestRestartDiscardsPendingRequests pins down a rollback subtlety: a
-// checkpoint request fired in the pre-failure timeline must die with
-// that timeline. The failure lands while a collective is still in
-// progress (so the request is pending, not yet serviced); after restart
-// the stale request must not produce a spurious checkpoint.
+// checkpoint request fired in the pre-failure timeline dies with that
+// timeline — its scheduler state (clocks, collective progress) no
+// longer exists after the rollback — but the checkpoint it promised is
+// still owed. The failure lands while a collective is still in progress
+// (so the request is pending, not yet serviced); after restart the
+// stale request itself must not commit, and instead its trigger is
+// un-consumed so the checkpoint re-fires from the replayed timeline's
+// own state.
 func TestRestartDiscardsPendingRequests(t *testing.T) {
 	cfg := smallConfig(4, 0)
 	cfg.StragglerP = 0
@@ -309,8 +313,18 @@ func TestRestartDiscardsPendingRequests(t *testing.T) {
 	if err != nil || outcome != Completed {
 		t.Fatalf("post-restart run = %v, %v", outcome, err)
 	}
-	if got := len(c.Records()); got != 1 {
-		t.Errorf("checkpoints = %d, want 1: the abandoned timeline's pending request must not commit", got)
+	if got := len(c.Records()); got != 2 {
+		t.Errorf("checkpoints = %d, want 2: the owed mid-collective checkpoint must re-fire after restart", got)
+	}
+	// The re-fired request must be serviced from the new timeline's own
+	// state, not the abandoned one's: its request time cannot precede
+	// the restart's resume clock.
+	resume := c.Restarts()[0].ResumeClock
+	for _, rec := range c.Records()[1:] {
+		if rec.RequestedAt < resume {
+			t.Errorf("checkpoint #%d requested@%v, before the restart resumed at %v: stale request leaked across the rollback",
+				rec.Seq, rec.RequestedAt, resume)
+		}
 	}
 	for _, rec := range c.Records() {
 		if rec.DeferredFor < 0 {

@@ -33,6 +33,7 @@ import (
 	"sort"
 	"strings"
 
+	"mana/internal/faultplan"
 	"mana/internal/netsim"
 	"mana/internal/rank"
 	"mana/internal/scenario"
@@ -258,6 +259,19 @@ func (c *Coordinator) beginDrain() error {
 	for i := range nodes {
 		for _, m := range nodes[i].waiting {
 			c.markNeeded(m)
+		}
+	}
+	// Drain-start faults anchored to the upcoming checkpoint fire now:
+	// the crash event lands Delay after the plan was built, killing the
+	// job while the topo order is partially executed. Restart discards
+	// the partial plan (abandonDrain) and the replayed timeline re-plans
+	// from its own collective state. The event lives on the global lane,
+	// so parallel windows never run past it.
+	seq := len(c.records) + 1
+	for i, f := range c.faults {
+		if !c.faultFired[i] && f.Anchor == faultplan.AtDrainStart && f.N == seq {
+			c.faultFired[i] = true
+			c.queues.Push(c.globalLane(), c.maxClock.Add(f.Delay), event{kind: evFail, trigger: i})
 		}
 	}
 	return nil

@@ -27,16 +27,25 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
 
 	"mana/internal/coordinator"
+	"mana/internal/faultplan"
 	"mana/internal/kernelsim"
 	"mana/internal/scenario"
 	"mana/internal/virtid"
 	"mana/internal/vtime"
 )
+
+// ErrRestartsExhausted reports that a run kept failing past its restart
+// budget (coordinator.Config.MaxRestarts): every c.Restart() call —
+// including attempts that themselves crashed mid-restore — counts
+// against the budget, and exhausting it means the fault plan was not
+// recoverable within the configured bound.
+var ErrRestartsExhausted = errors.New("fleet: restart budget exhausted")
 
 // Job names one simulation the engine can run: the workload spec plus
 // the knobs cmd/manasim exposes as flags, mapped verbatim. Note the
@@ -56,7 +65,15 @@ type Job struct {
 	CkptAt vtime.Time
 	// FailAfter injects a failure after this checkpoint commits
 	// (0 = never); the engine's Run restarts and completes the job.
-	FailAfter   int
+	FailAfter int
+	// FailDelay overrides how long after the commit the legacy failure
+	// fires (0 keeps the coordinator default).
+	FailDelay vtime.Duration
+	// Faults, when non-nil, is a declarative fault plan that replaces
+	// the legacy FailAfter knob (and any plan the spec itself declares).
+	// It is compiled per job because rank counts vary across sweep
+	// cells.
+	Faults      *faultplan.Plan
 	Incremental bool
 	FullEvery   int
 	// Islands <= 0 applies the spec's lane-count hint (or serial);
@@ -76,6 +93,15 @@ type Result struct {
 	Restarts    int
 	// ImageBytes totals what every committed checkpoint wrote.
 	ImageBytes uint64
+	// FinalFingerprint hashes the surviving application state after the
+	// run completes; a recoverable fault plan must reproduce the
+	// fault-free run's value bit for bit.
+	FinalFingerprint uint64
+	// FallbackDepth is the deepest generation fallback any restart took
+	// (0 = every restart restored the newest committed checkpoint).
+	FallbackDepth int
+	// LostWork totals the virtual time re-executed across all restarts.
+	LostWork vtime.Duration
 }
 
 // compileKey identifies one compiled program set. The spec is keyed by
@@ -222,6 +248,26 @@ func (e *Engine) Config(j Job) (coordinator.Config, error) {
 	cfg.Programs = progs
 	cfg.Triggers = Triggers(j.Spec.Checkpoints, j.CkptAt)
 	cfg.FailAtCheckpoint = j.FailAfter
+	if j.FailDelay > 0 {
+		cfg.FailDelay = j.FailDelay
+	}
+	plan := j.Faults
+	if plan == nil {
+		plan = j.Spec.Faults
+	}
+	if plan != nil {
+		faults, err := plan.Compile(j.Ranks)
+		if err != nil {
+			return coordinator.Config{}, err
+		}
+		cfg.Faults = faults
+		// A declarative plan owns failure injection outright; the
+		// legacy knob is suppressed rather than layered on top.
+		cfg.FailAtCheckpoint = 0
+		if plan.MaxRestarts > 0 {
+			cfg.MaxRestarts = plan.MaxRestarts
+		}
+	}
 	cfg.Islands = j.Islands
 	if cfg.Islands <= 0 && j.Spec.Islands > 0 {
 		cfg.Islands = j.Spec.Islands
@@ -249,10 +295,26 @@ func (e *Engine) Run(cfg coordinator.Config, w io.Writer) (Result, error) {
 		// rendezvous); drop the scratch rather than recycle it.
 		return Result{}, fmt.Errorf("run failed: %w", err)
 	}
+	attempts := 0
 	for outcome == coordinator.Failed {
 		fmt.Fprintf(w, "injected failure after checkpoint #%d; restarting from last image\n",
 			len(c.Records()))
-		if err := c.Restart(); err != nil {
+		for {
+			attempts++
+			if cfg.MaxRestarts > 0 && attempts > cfg.MaxRestarts {
+				return Result{}, fmt.Errorf("fleet: run still failing after %d restart attempts: %w",
+					attempts-1, ErrRestartsExhausted)
+			}
+			err := c.Restart()
+			if err == nil {
+				break
+			}
+			if errors.Is(err, coordinator.ErrRestartFault) {
+				// The restore itself crashed; the poisoned image is
+				// skipped and the next attempt falls back further.
+				fmt.Fprintf(w, "restart failed (injected restart fault); falling back to an older image\n")
+				continue
+			}
 			return Result{}, fmt.Errorf("restart failed: %w", err)
 		}
 		outcome, err = c.Run()
@@ -262,14 +324,21 @@ func (e *Engine) Run(cfg coordinator.Config, w io.Writer) (Result, error) {
 	}
 	c.WriteReport(w)
 	res := Result{
-		Makespan:    c.MaxClock(),
-		Events:      c.EventsDispatched(),
-		RankVisits:  c.RankVisits(),
-		Checkpoints: len(c.Records()),
-		Restarts:    len(c.Restarts()),
+		Makespan:         c.MaxClock(),
+		Events:           c.EventsDispatched(),
+		RankVisits:       c.RankVisits(),
+		Checkpoints:      len(c.Records()),
+		Restarts:         len(c.Restarts()),
+		FinalFingerprint: c.FinalFingerprint(),
 	}
 	for _, rec := range c.Records() {
 		res.ImageBytes += rec.ImageBytes
+	}
+	for _, rr := range c.Restarts() {
+		if rr.FallbackDepth > res.FallbackDepth {
+			res.FallbackDepth = rr.FallbackDepth
+		}
+		res.LostWork += rr.LostWork
 	}
 	c.Release()
 	e.scratch.Put(sc)

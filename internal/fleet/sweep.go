@@ -50,12 +50,17 @@ type Cell struct {
 	ReportFNV64 string `json:"report_fnv64"`
 	ReportBytes int    `json:"report_bytes"`
 
-	MakespanNs  int64   `json:"makespan_ns"`
-	Events      uint64  `json:"events"`
-	Checkpoints int     `json:"checkpoints"`
-	Restarts    int     `json:"restarts"`
-	ImageBytes  uint64  `json:"image_bytes"`
-	WallMs      float64 `json:"wall_ms"`
+	MakespanNs  int64  `json:"makespan_ns"`
+	Events      uint64 `json:"events"`
+	Checkpoints int    `json:"checkpoints"`
+	Restarts    int    `json:"restarts"`
+	ImageBytes  uint64 `json:"image_bytes"`
+	// FallbackDepth and LostWorkNs summarise recovery cost: the deepest
+	// generation fallback any restart in the cell took, and the virtual
+	// time re-executed across all of its restarts.
+	FallbackDepth int     `json:"fallback_depth"`
+	LostWorkNs    int64   `json:"lost_work_ns"`
+	WallMs        float64 `json:"wall_ms"`
 }
 
 // Totals aggregates the sweep: how much work ran, how fast, and how
@@ -195,6 +200,8 @@ func (e *Engine) RunSweep(s Sweep) (*SweepResult, error) {
 				c.Checkpoints = res.Checkpoints
 				c.Restarts = res.Restarts
 				c.ImageBytes = res.ImageBytes
+				c.FallbackDepth = res.FallbackDepth
+				c.LostWorkNs = int64(res.LostWork)
 				c.WallMs = float64(time.Since(cellStart)) / float64(time.Millisecond)
 			}
 		}()

@@ -127,8 +127,16 @@ type Image struct {
 	Full  bool
 	Mem   memsim.Snapshot
 	Delta memsim.Delta
-	Inbox []netsim.Message
-	Virt  virtid.Snapshot
+	// Complete reports whether the image's write to the parallel
+	// filesystem finished. A torn write (injected fault) leaves it false,
+	// with WrittenBytes recording the byte-accurate partial size; restart
+	// verification refuses to restore from a torn link.
+	Complete bool
+	// WrittenBytes is the payload actually written — Bytes() for a
+	// complete image, less for a torn one.
+	WrittenBytes uint64
+	Inbox        []netsim.Message
+	Virt         virtid.Snapshot
 	// PendingReqs is the FIFO of request handles posted by nonblocking
 	// operations and not yet retired by a wait — live handles that must
 	// keep resolving after restart.
@@ -809,6 +817,8 @@ func (r *Rank) CaptureImage(incremental bool) Image {
 		img.Full = true
 		img.Mem = r.mem.CommitUpperHalf()
 	}
+	img.Complete = true
+	img.WrittenBytes = img.Bytes()
 	return img
 }
 
@@ -835,7 +845,30 @@ func Overlay(base, img Image) Image {
 	out.Base = 0
 	out.Mem = memsim.ApplyDelta(base.Mem, img.Delta)
 	out.Delta = memsim.Delta{}
+	out.WrittenBytes = out.Bytes()
 	return out
+}
+
+// VerifyImage checks a committed image's integrity the way a restart
+// would before trusting it: a torn image (Complete == false) is rejected
+// outright; otherwise every carried page or region is rehashed with the
+// same FNV digests recorded at capture time. It returns the number of
+// pages rehashed — the coordinator charges restart verify cost per page —
+// and an error naming what failed.
+func VerifyImage(img Image) (pages int, err error) {
+	if !img.Complete {
+		return 0, fmt.Errorf("rank %d: image for checkpoint #%d is torn: %d of %d bytes written",
+			img.RankID, img.Seq, img.WrittenBytes, img.Bytes())
+	}
+	if img.Full {
+		pages, err = img.Mem.Verify()
+	} else {
+		pages, err = img.Delta.Verify()
+	}
+	if err != nil {
+		return pages, fmt.Errorf("rank %d: image for checkpoint #%d is corrupt: %w", img.RankID, img.Seq, err)
+	}
+	return pages, nil
 }
 
 // Restore rebuilds the rank from a checkpoint image, modelling MANA's

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"mana/internal/faultplan"
 	"mana/internal/vtime"
 )
 
@@ -39,6 +40,12 @@ type Spec struct {
 	// performance hint: the island count never changes a run's
 	// observable output, only how much of it can execute in parallel.
 	Islands int `json:"islands,omitempty"`
+	// Faults is the spec's declarative fault-injection plan (see the
+	// faultplan package): an ordered list of one-shot failures at named
+	// protocol points, plus an optional restart budget. The CLI's -faults
+	// flag overrides it; when either is present the legacy
+	// -fail-after/-fail-delay failure scenario is disabled.
+	Faults *faultplan.Plan `json:"faults,omitempty"`
 }
 
 // SplitSpec describes one MPI_Comm_split of the world communicator into
@@ -188,6 +195,11 @@ func (s *Spec) Validate() error {
 	}
 	if s.Islands < 0 {
 		return s.errf("islands", "must be non-negative (got %d)", s.Islands)
+	}
+	if s.Faults != nil {
+		if err := s.Faults.ValidateNamed(s.errf); err != nil {
+			return err
+		}
 	}
 	if len(s.Phases) == 0 {
 		return s.errf("phases", "at least one phase required")
