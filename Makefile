@@ -10,8 +10,11 @@ BENCHTIME ?= 1s
 # capture (full vs incremental image bytes), the collective drain
 # planner (overlapping vs serialised collectives) and fleet throughput
 # (complete simulations per second; its runs/sec metric gates
-# higher-is-better in bench-check).
-BENCH_PATTERN ?= BenchmarkScheduler|BenchmarkVirtid|BenchmarkCheckpointCapture|BenchmarkSnapshotUpperHalf|BenchmarkOverlapDrain|BenchmarkFleetThroughput|BenchmarkRestartFallback
+# higher-is-better in bench-check), the storage pipeline (checkpoint
+# commit under each profile; max-write-ns records the staging win over
+# the contended PFS) and the compression pay-off sweep (CPU charged vs
+# bytes saved across per-byte costs).
+BENCH_PATTERN ?= BenchmarkScheduler|BenchmarkVirtid|BenchmarkCheckpointCapture|BenchmarkSnapshotUpperHalf|BenchmarkOverlapDrain|BenchmarkFleetThroughput|BenchmarkRestartFallback|BenchmarkCheckpointCommit|BenchmarkCompressionPayoff
 BENCH_PKGS ?= ./internal/coordinator ./internal/virtid ./internal/rank ./internal/memsim ./internal/fleet
 # MAX_REGRESS is bench-check's tolerated ns/op regression vs the
 # committed artifact (0.30 = 30%); CI loosens it because -benchtime=1x
@@ -117,6 +120,20 @@ smoke-matrix:
 	    done; \
 	  done; \
 	done
+	@set -e; \
+	for st in direct staged staged-compressed; do \
+	  inc=""; if [ $$st = staged-compressed ]; then inc="-incremental"; fi; \
+	  echo "smoke-matrix: storage -storage $$st $$inc"; \
+	  /tmp/manasim-matrix -storage $$st $$inc \
+	    -ranks 512 -steps 5 -ckpt-at 200us -no-fail > /tmp/manasim-matrix1.txt; \
+	  /tmp/manasim-matrix -storage $$st $$inc \
+	    -ranks 512 -steps 5 -ckpt-at 200us -no-fail > /tmp/manasim-matrix2.txt; \
+	  cmp /tmp/manasim-matrix1.txt /tmp/manasim-matrix2.txt; \
+	  /tmp/manasim-matrix -storage $$st $$inc \
+	    -ranks 512 -steps 5 -ckpt-at 200us -no-fail \
+	    -islands 8 -workers 4 > /tmp/manasim-matrix3.txt; \
+	  cmp /tmp/manasim-matrix1.txt /tmp/manasim-matrix3.txt; \
+	done
 
 # smoke-faults mirrors CI's fault-matrix job: every canned fault plan
 # under cmd/manasim/testdata/faults/ — single and multi-failure, torn
@@ -124,7 +141,10 @@ smoke-matrix:
 # print byte-identical output, in three modes: serial, the sharded
 # parallel scheduler (-islands 8 -workers 4), and incremental images
 # (-incremental -full-every 2). The parallel run must also reproduce
-# the serial bytes exactly.
+# the serial bytes exactly. The staging/ plans then run against the
+# fast-staged storage document: a crash mid-drain must fall back to the
+# newest durable generation and a torn drain must surface at restart,
+# byte-identically serial and parallel.
 smoke-faults:
 	$(GO) build -o /tmp/manasim-faults ./cmd/manasim
 	@set -e; \
@@ -138,6 +158,19 @@ smoke-faults:
 	  /tmp/manasim-faults -faults $$plan -incremental -full-every 2 > /tmp/manasim-faults4.txt; \
 	  /tmp/manasim-faults -faults $$plan -incremental -full-every 2 > /tmp/manasim-faults5.txt; \
 	  cmp /tmp/manasim-faults4.txt /tmp/manasim-faults5.txt; \
+	done
+	@set -e; \
+	for plan in cmd/manasim/testdata/faults/staging/*.json; do \
+	  echo "smoke-faults: $$plan (staged)"; \
+	  /tmp/manasim-faults -incremental -faults $$plan \
+	    -storage cmd/manasim/testdata/storage/fast-staged.json > /tmp/manasim-faults1.txt; \
+	  /tmp/manasim-faults -incremental -faults $$plan \
+	    -storage cmd/manasim/testdata/storage/fast-staged.json > /tmp/manasim-faults2.txt; \
+	  cmp /tmp/manasim-faults1.txt /tmp/manasim-faults2.txt; \
+	  /tmp/manasim-faults -incremental -faults $$plan \
+	    -storage cmd/manasim/testdata/storage/fast-staged.json \
+	    -islands 8 -workers 4 > /tmp/manasim-faults3.txt; \
+	  cmp /tmp/manasim-faults1.txt /tmp/manasim-faults3.txt; \
 	done
 
 # smoke-sweep mirrors CI's fleet determinism check: a small -sweep grid

@@ -39,6 +39,8 @@ var allowed = map[string]string{
 	"coordinator.ErrRestartFault":           "errors.New sentinel, written once at init and only compared",
 	"coordinator.ErrNoVerifiableGeneration": "errors.New sentinel, written once at init and only compared",
 	"fleet.ErrRestartsExhausted":            "errors.New sentinel, written once at init and only compared",
+	"storage.profiles":                      "built-in profile table, initialised once and only read (Profile deep-copies)",
+	"storage.defaultRatios":                 "compressibility-default table, initialised once and only read",
 }
 
 // finding is one package-level var outside the allowlist.

@@ -30,6 +30,17 @@
 // lost work and verify cost. A plan replaces -fail-after/-fail-delay/
 // -no-fail and any plan the spec itself declares.
 //
+// Checkpoint I/O runs through a configurable storage pipeline (see
+// internal/storage): a shared parallel filesystem whose aggregate
+// bandwidth is contended across all concurrent writers (the default),
+// optionally fronted by per-node burst buffers that stage image
+// payloads and drain them asynchronously, and optionally per-page
+// compression of incremental delta payloads. -storage selects a
+// built-in profile or JSON document; -pfs-bandwidth, -bb-bandwidth,
+// -bb-capacity, -compress and -compress-cost overlay individual knobs;
+// -legacy-straggler reinstates the retired flat-bandwidth straggler
+// model byte-for-byte.
+//
 // With -workload overlap (alias for -spec overlap) the job instead
 // splits MPI_COMM_WORLD into two staggered sub-communicator layouts and
 // runs every step's collectives on them, so collectives on overlapping
@@ -46,10 +57,14 @@
 //	                     [-ckpt-at 5ms] [-fail-after 2] [-fail-delay 250us] [-no-fail]
 //	                     [-faults plan.json]
 //	                     [-incremental] [-full-every 4]
+//	                     [-storage direct|staged|staged-compressed|file.json]
+//	                     [-pfs-bandwidth 16e9] [-bb-bandwidth 8e9] [-bb-capacity 268435456]
+//	                     [-compress] [-compress-cost 0.3] [-legacy-straggler]
 //	                     [-islands 8] [-workers 4]
 //	go run ./cmd/manasim -sweep [-sweep-specs default,overlap] [-sweep-ranks 4,8]
 //	                     [-sweep-ckpt 1ms,5ms] [-sweep-virtid sharded,mutex]
-//	                     [-sweep-incremental false,true] [-sweep-workers 4]
+//	                     [-sweep-incremental false,true] [-sweep-storage direct,staged]
+//	                     [-sweep-workers 4]
 //
 // -islands and -workers select the sharded parallel scheduler: ranks
 // are partitioned across island event lanes and drained by that many
@@ -86,6 +101,7 @@ import (
 	"mana/internal/fleet"
 	"mana/internal/kernelsim"
 	"mana/internal/scenario"
+	"mana/internal/storage"
 	"mana/internal/virtid"
 	"mana/internal/vtime"
 )
@@ -118,27 +134,67 @@ type scenarioOpts struct {
 	Islands     int
 	Workers     int
 
-	Sweep       bool
-	SweepSpecs  string
-	SweepRanks  string
-	SweepCkpt   string
-	SweepVirtid string
-	SweepIncr   string
+	// Storage names a built-in storage profile (direct, staged,
+	// staged-compressed) or a JSON storage document; it overrides any
+	// storage block the spec declares, and the individual storage flags
+	// below overlay whichever base is in effect.
+	Storage      string
+	PFSBandwidth float64
+	BBBandwidth  float64
+	BBCapacity   uint64
+	Compress     bool
+	CompressCost float64
+	// LegacyStraggler reinstates the retired flat-bandwidth write model
+	// with RNG-drawn stragglers, byte-identical to pre-pipeline reports.
+	LegacyStraggler bool
+
+	Sweep        bool
+	SweepSpecs   string
+	SweepRanks   string
+	SweepCkpt    string
+	SweepVirtid  string
+	SweepIncr    string
+	SweepStorage string
 	// SweepWorkers bounds how many sweep cells run concurrently
 	// (0 = GOMAXPROCS); -workers still parallelises within each run.
 	SweepWorkers int
 
-	RanksSet        bool
-	StepsSet        bool
-	SpecSet         bool
-	TraceSet        bool
-	WorkloadSet     bool
-	GroupSet        bool
-	FailAfterSet    bool
-	FailDelaySet    bool
-	NoFailSet       bool
-	IslandsSet      bool
-	SweepWorkersSet bool
+	RanksSet           bool
+	StepsSet           bool
+	SpecSet            bool
+	TraceSet           bool
+	WorkloadSet        bool
+	GroupSet           bool
+	FailAfterSet       bool
+	FailDelaySet       bool
+	NoFailSet          bool
+	IslandsSet         bool
+	SweepWorkersSet    bool
+	StorageSet         bool
+	PFSBandwidthSet    bool
+	BBBandwidthSet     bool
+	BBCapacitySet      bool
+	CompressSet        bool
+	CompressCostSet    bool
+	LegacyStragglerSet bool
+}
+
+// firstStorageFlag names the first individual storage flag the user
+// passed, for rejection messages that must name the offender.
+func firstStorageFlag(s scenarioOpts) string {
+	switch {
+	case s.PFSBandwidthSet:
+		return "-pfs-bandwidth"
+	case s.BBBandwidthSet:
+		return "-bb-bandwidth"
+	case s.BBCapacitySet:
+		return "-bb-capacity"
+	case s.CompressSet:
+		return "-compress"
+	case s.CompressCostSet:
+		return "-compress-cost"
+	}
+	return ""
 }
 
 // defaultScenario mirrors the flag defaults; the golden test pins its
@@ -157,7 +213,136 @@ func defaultScenario() scenarioOpts {
 		FailDelay: 250 * time.Microsecond,
 		FullEvery: 4,
 		Workers:   1,
+		// Storage flag defaults mirror the model constants: an individual
+		// flag left unset contributes nothing, but a half-specified burst
+		// buffer (say, -bb-capacity alone) completes from these.
+		PFSBandwidth: storage.DefaultPFSBandwidth,
+		BBBandwidth:  storage.DefaultBBBandwidth,
+		BBCapacity:   storage.DefaultBBCapacity,
+		CompressCost: storage.DefaultCompressCost,
 	}
+}
+
+// resolveStorage turns the storage flag surface into the job's storage
+// spec (nil spec, false legacy = the direct-to-PFS default model).
+// Precedence: -legacy-straggler bypasses the pipeline outright and
+// tolerates no other storage selection; -storage overrides a
+// spec-declared block; individual flags overlay whichever base is in
+// effect, except a spec-declared block, which they may not silently
+// reshape — overriding that requires -storage. spec is nil when the job
+// replays a trace (or when building a sweep base, where per-cell specs
+// are resolved by the fleet engine).
+func resolveStorage(s scenarioOpts, spec *scenario.Spec) (*storage.Spec, bool, error) {
+	flagName := firstStorageFlag(s)
+	var specBlock *storage.Spec
+	if spec != nil {
+		specBlock = spec.Storage
+	}
+	if s.LegacyStraggler {
+		switch {
+		case s.StorageSet:
+			return nil, false, fmt.Errorf("-legacy-straggler cannot be combined with -storage (the legacy write model has no storage pipeline)")
+		case flagName != "":
+			return nil, false, fmt.Errorf("-legacy-straggler cannot be combined with %s (the legacy write model has no storage pipeline)", flagName)
+		case specBlock != nil:
+			return nil, false, fmt.Errorf("-legacy-straggler cannot be combined with spec %q's storage block (the legacy write model has no storage pipeline)", spec.Name)
+		}
+		return nil, true, nil
+	}
+	var base *storage.Spec
+	switch {
+	case s.StorageSet:
+		b, err := storage.Load(s.Storage)
+		if err != nil {
+			return nil, false, fmt.Errorf("-storage: %w", err)
+		}
+		base = b
+	case specBlock != nil:
+		if flagName != "" {
+			return nil, false, fmt.Errorf("%s has no effect on spec %q: it declares its own storage block (override with -storage)", flagName, spec.Name)
+		}
+		return specBlock, false, nil
+	default:
+		if flagName == "" {
+			return nil, false, nil
+		}
+		base = &storage.Spec{}
+	}
+	if s.PFSBandwidthSet {
+		if base.PFS == nil {
+			base.PFS = &storage.PFSSpec{}
+		}
+		base.PFS.AggregateBandwidth = s.PFSBandwidth
+	}
+	if s.BBBandwidthSet || s.BBCapacitySet {
+		if base.BurstBuffer == nil {
+			base.BurstBuffer = &storage.BurstBufferSpec{Bandwidth: s.BBBandwidth, Capacity: s.BBCapacity}
+		} else {
+			if s.BBBandwidthSet {
+				base.BurstBuffer.Bandwidth = s.BBBandwidth
+			}
+			if s.BBCapacitySet {
+				base.BurstBuffer.Capacity = s.BBCapacity
+			}
+		}
+	}
+	if s.CompressSet {
+		if s.Compress {
+			if base.Compression == nil {
+				base.Compression = &storage.CompressionSpec{}
+			}
+			base.Compression.Enabled = true
+		} else {
+			// -compress=false drops a profile's compression block whole;
+			// a dangling cost would otherwise fail validation by name.
+			base.Compression = nil
+			base.Compressibility = nil
+		}
+	}
+	if s.CompressCostSet {
+		if base.Compression == nil || !base.Compression.Enabled {
+			return nil, false, fmt.Errorf("-compress-cost has no effect without -compress (or a compression-enabled -storage profile)")
+		}
+		base.Compression.CostNsPerByte = s.CompressCost
+	}
+	if err := base.Validate(); err != nil {
+		return nil, false, err
+	}
+	return base, false, nil
+}
+
+// applyStorage resolves and compiles the storage selection into the
+// config, then rejects the combinations that would silently do nothing:
+// compression without incremental images (only delta pages compress)
+// and drain-hop fault anchors without a burst buffer to drain from.
+func applyStorage(cfg *coordinator.Config, s scenarioOpts, spec *scenario.Spec) error {
+	stSpec, legacy, err := resolveStorage(s, spec)
+	if err != nil {
+		return err
+	}
+	if legacy {
+		cfg.Storage.LegacyStraggler = true
+	} else {
+		st, err := storage.Compile(stSpec)
+		if err != nil {
+			return err
+		}
+		cfg.Storage = st
+	}
+	if cfg.Storage.Compression && !s.Incremental {
+		switch {
+		case s.CompressSet:
+			return fmt.Errorf("-compress has no effect without -incremental (only delta pages compress)")
+		case s.StorageSet:
+			return fmt.Errorf("-storage %q enables compression, which has no effect without -incremental (only delta pages compress)", s.Storage)
+		default:
+			return fmt.Errorf("spec %q enables compression, which has no effect without -incremental (only delta pages compress)", spec.Name)
+		}
+	}
+	if faultplan.AnyDrainHop(cfg.Faults) && !cfg.Storage.Staging {
+		return fmt.Errorf("fault plan anchors on \"image-write/drain\" but storage declares no burst buffer (drain faults need -storage staged or a burst_buffer block)")
+	}
+	return nil
 }
 
 // resolveSpec turns the flag surface into a scenario spec: -spec names
@@ -268,6 +453,8 @@ func buildConfig(s scenarioOpts) (coordinator.Config, error) {
 			return cfg, fmt.Errorf("-sweep-virtid has no effect without -sweep")
 		case s.SweepIncr != "":
 			return cfg, fmt.Errorf("-sweep-incremental has no effect without -sweep")
+		case s.SweepStorage != "":
+			return cfg, fmt.Errorf("-sweep-storage has no effect without -sweep")
 		case s.SweepWorkersSet:
 			return cfg, fmt.Errorf("-sweep-workers has no effect without -sweep")
 		}
@@ -348,6 +535,9 @@ func buildConfig(s scenarioOpts) (coordinator.Config, error) {
 		if err := applyFaults(&cfg, s, plan); err != nil {
 			return cfg, err
 		}
+		if err := applyStorage(&cfg, s, nil); err != nil {
+			return cfg, err
+		}
 		if s.Workers > 1 && cfg.Islands <= 1 {
 			return cfg, fmt.Errorf("-workers %d has no effect without -islands of at least 2 (workers drain island lanes in parallel)", s.Workers)
 		}
@@ -392,6 +582,9 @@ func buildConfig(s scenarioOpts) (coordinator.Config, error) {
 		plan = spec.Faults
 	}
 	if err := applyFaults(&cfg, s, plan); err != nil {
+		return cfg, err
+	}
+	if err := applyStorage(&cfg, s, spec); err != nil {
 		return cfg, err
 	}
 	if !s.IslandsSet && spec.Islands > 0 {
@@ -527,6 +720,37 @@ func buildSweep(s scenarioOpts) (fleet.Sweep, error) {
 	} else {
 		sw.Incremental = []bool{s.Incremental}
 	}
+	var (
+		baseStorage *storage.Spec
+		baseLegacy  bool
+	)
+	if s.SweepStorage != "" {
+		// The dimension sets each cell's pipeline; single-point storage
+		// flags would be dead weight, so reject them by name.
+		switch {
+		case s.LegacyStragglerSet:
+			return sw, fmt.Errorf("-legacy-straggler has no effect with -sweep-storage (the dimension sets each cell's pipeline)")
+		case s.StorageSet:
+			return sw, fmt.Errorf("-storage has no effect with -sweep-storage (the dimension sets each cell's pipeline)")
+		case firstStorageFlag(s) != "":
+			return sw, fmt.Errorf("%s has no effect with -sweep-storage (the dimension sets each cell's pipeline)", firstStorageFlag(s))
+		}
+		sw.Storage = splitList(s.SweepStorage)
+	} else {
+		baseStorage, baseLegacy, err = resolveStorage(s, nil)
+		if err != nil {
+			return sw, err
+		}
+		if s.CompressSet && s.Compress {
+			anyIncr := false
+			for _, b := range sw.Incremental {
+				anyIncr = anyIncr || b
+			}
+			if !anyIncr {
+				return sw, fmt.Errorf("-compress has no effect without -incremental (only delta pages compress)")
+			}
+		}
+	}
 
 	if s.FullEvery < 0 {
 		return sw, fmt.Errorf("-full-every must be non-negative (got %d)", s.FullEvery)
@@ -541,13 +765,15 @@ func buildSweep(s scenarioOpts) (fleet.Sweep, error) {
 		return sw, fmt.Errorf("-sweep-workers must be at least 1 (got %d)", s.SweepWorkers)
 	}
 	sw.Base = fleet.Job{
-		Steps:     s.Steps,
-		Seed:      s.Seed,
-		Kernel:    personality,
-		Faults:    plan,
-		FullEvery: s.FullEvery,
-		Islands:   s.Islands,
-		Workers:   s.Workers,
+		Steps:           s.Steps,
+		Seed:            s.Seed,
+		Kernel:          personality,
+		Faults:          plan,
+		FullEvery:       s.FullEvery,
+		Islands:         s.Islands,
+		Workers:         s.Workers,
+		Storage:         baseStorage,
+		LegacyStraggler: baseLegacy,
 	}
 	if plan == nil && !s.NoFail {
 		sw.Base.FailAfter = s.FailAfter
@@ -608,12 +834,20 @@ func main() {
 	flag.IntVar(&s.FullEvery, "full-every", def.FullEvery, "with -incremental, write a full image every Nth checkpoint (0 = only the first)")
 	flag.IntVar(&s.Islands, "islands", def.Islands, "partition ranks across this many event-queue lanes (0 = spec hint or serial); never changes the report")
 	flag.IntVar(&s.Workers, "workers", def.Workers, "goroutines draining island lanes in parallel windows (1 = serial); never changes the report")
+	flag.StringVar(&s.Storage, "storage", "", "checkpoint I/O pipeline: a built-in profile ("+strings.Join(storage.ProfileNames(), ", ")+") or a JSON storage document; overrides any storage block the spec declares")
+	flag.Float64Var(&s.PFSBandwidth, "pfs-bandwidth", def.PFSBandwidth, "aggregate parallel-filesystem bandwidth in bytes/second, contended across all writers (0 = free I/O)")
+	flag.Float64Var(&s.BBBandwidth, "bb-bandwidth", def.BBBandwidth, "per-node burst-buffer staging bandwidth in bytes/second (0 = free staging); enables staging")
+	flag.Uint64Var(&s.BBCapacity, "bb-capacity", def.BBCapacity, "per-node burst-buffer capacity in bytes; staged bytes beyond it write through to the PFS; enables staging")
+	flag.BoolVar(&s.Compress, "compress", false, "compress incremental delta pages per region class before storing (requires -incremental)")
+	flag.Float64Var(&s.CompressCost, "compress-cost", def.CompressCost, "with -compress: kernel CPU cost per input byte, in ns")
+	flag.BoolVar(&s.LegacyStraggler, "legacy-straggler", false, "reinstate the retired flat-bandwidth write model with RNG-drawn stragglers (byte-identical to pre-pipeline reports)")
 	flag.BoolVar(&s.Sweep, "sweep", false, "run a grid of simulations concurrently and print a JSON aggregate instead of one report")
 	flag.StringVar(&s.SweepSpecs, "sweep-specs", "", "with -sweep: comma-separated spec names/files for the grid (default: the single -spec/-workload)")
 	flag.StringVar(&s.SweepRanks, "sweep-ranks", "", "with -sweep: comma-separated rank counts (default: -ranks)")
 	flag.StringVar(&s.SweepCkpt, "sweep-ckpt", "", "with -sweep: comma-separated first-checkpoint times (default: -ckpt-at)")
 	flag.StringVar(&s.SweepVirtid, "sweep-virtid", "", "with -sweep: comma-separated virtid implementations (default: -virtid)")
 	flag.StringVar(&s.SweepIncr, "sweep-incremental", "", "with -sweep: comma-separated booleans for incremental images (default: -incremental)")
+	flag.StringVar(&s.SweepStorage, "sweep-storage", "", "with -sweep: comma-separated storage profiles/files for the grid (default: the single-run storage flags)")
 	flag.IntVar(&s.SweepWorkers, "sweep-workers", 0, "with -sweep: concurrent simulations in the pool (0 = GOMAXPROCS)")
 	flag.Parse()
 	flag.Visit(func(f *flag.Flag) {
@@ -640,6 +874,20 @@ func main() {
 			s.IslandsSet = true
 		case "sweep-workers":
 			s.SweepWorkersSet = true
+		case "storage":
+			s.StorageSet = true
+		case "pfs-bandwidth":
+			s.PFSBandwidthSet = true
+		case "bb-bandwidth":
+			s.BBBandwidthSet = true
+		case "bb-capacity":
+			s.BBCapacitySet = true
+		case "compress":
+			s.CompressSet = true
+		case "compress-cost":
+			s.CompressCostSet = true
+		case "legacy-straggler":
+			s.LegacyStragglerSet = true
 		}
 	})
 

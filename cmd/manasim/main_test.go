@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"mana/internal/coordinator"
+	"mana/internal/storage"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files with current output")
@@ -272,6 +273,26 @@ func TestBuildConfigValidation(t *testing.T) {
 		{"negative islands", func(s *scenarioOpts) { s.Islands = -1; s.IslandsSet = true }},
 		{"zero workers", func(s *scenarioOpts) { s.Workers = 0 }},
 		{"workers without islands", func(s *scenarioOpts) { s.Workers = 4 }},
+		{"compress without incremental", func(s *scenarioOpts) { s.Compress = true; s.CompressSet = true }},
+		{"compress-cost without compress", func(s *scenarioOpts) { s.CompressCost = 0.5; s.CompressCostSet = true }},
+		{"unknown storage profile", func(s *scenarioOpts) { s.Storage = "quantum"; s.StorageSet = true }},
+		{"compressed profile without incremental", func(s *scenarioOpts) { s.Storage = "staged-compressed"; s.StorageSet = true }},
+		{"legacy straggler with storage", func(s *scenarioOpts) {
+			s.LegacyStraggler = true
+			s.LegacyStragglerSet = true
+			s.Storage = "staged"
+			s.StorageSet = true
+		}},
+		{"legacy straggler with storage flag", func(s *scenarioOpts) {
+			s.LegacyStraggler = true
+			s.LegacyStragglerSet = true
+			s.BBCapacity = 1 << 20
+			s.BBCapacitySet = true
+		}},
+		{"sweep-storage without sweep", func(s *scenarioOpts) { s.SweepStorage = "direct,staged" }},
+		{"drain-hop plan without staging", func(s *scenarioOpts) {
+			s.Faults = filepath.Join("testdata", "faults", "staging", "drain-torn-fallback.json")
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -281,6 +302,112 @@ func TestBuildConfigValidation(t *testing.T) {
 				t.Errorf("buildConfig accepted invalid scenario %+v", s)
 			}
 		})
+	}
+}
+
+// TestLegacyStragglerReportGolden pins the -legacy-straggler escape
+// hatch to the retired flat-bandwidth model's exact bytes: the golden is
+// a frozen copy of the pre-pipeline default report and is deliberately
+// NOT regenerable with -update — if this test fails, the escape hatch
+// broke its compatibility promise.
+func TestLegacyStragglerReportGolden(t *testing.T) {
+	s := defaultScenario()
+	s.LegacyStraggler = true
+	s.LegacyStragglerSet = true
+	cfg, err := buildConfig(s)
+	if err != nil {
+		t.Fatalf("buildConfig: %v", err)
+	}
+	got, err := runScenarioString(cfg)
+	if err != nil {
+		t.Fatalf("runScenario: %v", err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "legacy_straggler_report.golden"))
+	if err != nil {
+		t.Fatalf("read frozen golden: %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("-legacy-straggler deviates from the retired model's frozen bytes.\n--- got\n%s\n--- want\n%s", got, want)
+	}
+}
+
+// TestStorageFlagResolution covers the positive half of the storage flag
+// surface: profiles resolve, individual flags overlay them, and a lone
+// burst-buffer flag completes from the model defaults.
+func TestStorageFlagResolution(t *testing.T) {
+	s := defaultScenario()
+	s.Storage = "staged"
+	s.StorageSet = true
+	cfg, err := buildConfig(s)
+	if err != nil {
+		t.Fatalf("buildConfig(-storage staged): %v", err)
+	}
+	if !cfg.Storage.Staging || cfg.Storage.BBCapacity != storage.DefaultBBCapacity {
+		t.Errorf("-storage staged compiled wrong: %+v", cfg.Storage)
+	}
+
+	s.PFSBandwidth = 2e9
+	s.PFSBandwidthSet = true
+	cfg, err = buildConfig(s)
+	if err != nil {
+		t.Fatalf("buildConfig(-storage staged -pfs-bandwidth): %v", err)
+	}
+	if cfg.Storage.PFSBandwidth != 2e9 || !cfg.Storage.Staging {
+		t.Errorf("-pfs-bandwidth did not overlay the profile: %+v", cfg.Storage)
+	}
+
+	s2 := defaultScenario()
+	s2.BBCapacity = 1 << 20
+	s2.BBCapacitySet = true
+	cfg, err = buildConfig(s2)
+	if err != nil {
+		t.Fatalf("buildConfig(-bb-capacity alone): %v", err)
+	}
+	if !cfg.Storage.Staging || cfg.Storage.BBCapacity != 1<<20 || cfg.Storage.BBBandwidth != storage.DefaultBBBandwidth {
+		t.Errorf("lone -bb-capacity did not complete a burst buffer from defaults: %+v", cfg.Storage)
+	}
+}
+
+// TestSpecStorageBlock covers a spec-declared storage block: it
+// resolves, individual flags may not silently reshape it, and -storage
+// overrides it whole.
+func TestSpecStorageBlock(t *testing.T) {
+	spec := filepath.Join(t.TempDir(), "st.json")
+	body := `{
+		"name": "st",
+		"phases": [{"name": "main", "steps": 2, "ops": [{"op": "compute", "mean": "1ms"}]}],
+		"storage": {"burst_buffer": {"bandwidth": 4e9, "capacity": 1048576}}
+	}`
+	if err := os.WriteFile(spec, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := defaultScenario()
+	s.Spec = spec
+	s.SpecSet = true
+	cfg, err := buildConfig(s)
+	if err != nil {
+		t.Fatalf("buildConfig(spec block): %v", err)
+	}
+	if !cfg.Storage.Staging || cfg.Storage.BBBandwidth != 4e9 || cfg.Storage.BBCapacity != 1<<20 {
+		t.Errorf("spec storage block not applied: %+v", cfg.Storage)
+	}
+
+	s.BBCapacity = 2 << 20
+	s.BBCapacitySet = true
+	_, err = buildConfig(s)
+	if err == nil || !strings.Contains(err.Error(), "-bb-capacity has no effect on spec") {
+		t.Errorf("flag alongside spec block: err = %v, want named rejection", err)
+	}
+
+	s.BBCapacitySet = false
+	s.Storage = "direct"
+	s.StorageSet = true
+	cfg, err = buildConfig(s)
+	if err != nil {
+		t.Fatalf("buildConfig(-storage overrides block): %v", err)
+	}
+	if cfg.Storage.Staging {
+		t.Errorf("-storage direct did not override the spec block: %+v", cfg.Storage)
 	}
 }
 

@@ -71,6 +71,7 @@ import (
 	"mana/internal/netsim"
 	"mana/internal/rank"
 	"mana/internal/scenario"
+	"mana/internal/storage"
 	"mana/internal/virtid"
 	"mana/internal/vtime"
 )
@@ -113,13 +114,30 @@ type Config struct {
 	// built directly (scenario.PerRank) to stage precise protocol
 	// situations. New panics unless len(Programs) == Ranks.
 	Programs []scenario.Program
-	// CkptWriteBandwidth and CkptReadBandwidth are the per-rank
-	// parallel-filesystem bandwidths for image write and restart read.
-	// Zero or negative values model free (instantaneous) I/O, matching
-	// netsim.Params.SerializeCost.
+	// Storage is the two-tier checkpoint I/O model (internal/storage):
+	// a contended aggregate-bandwidth PFS, optional per-node burst-buffer
+	// staging with asynchronous drain, and optional delta-page
+	// compression. BaseConfig sets the direct contended default
+	// (storage.DefaultConfig); Storage.LegacyStraggler reinstates the
+	// retired flat-bandwidth write path below.
+	Storage storage.Config
+	// CkptWriteBandwidth is the per-rank flat write bandwidth of the
+	// retired §3.4 model.
+	//
+	// Deprecated: consulted only when Storage.LegacyStraggler is set;
+	// the storage pipeline's contended PFS replaces it. CkptReadBandwidth
+	// remains live: restart reads are per-rank in either model.
 	CkptWriteBandwidth float64
-	CkptReadBandwidth  float64
-	// StragglerP and StragglerMax drive the §3.4 write-straggler model.
+	// CkptReadBandwidth is the per-rank parallel-filesystem bandwidth for
+	// restart reads. Zero or negative values model free (instantaneous)
+	// I/O, matching netsim.Params.SerializeCost.
+	CkptReadBandwidth float64
+	// StragglerP and StragglerMax drive the retired §3.4 dialled-in
+	// write-straggler model.
+	//
+	// Deprecated: consulted only when Storage.LegacyStraggler is set.
+	// In the storage pipeline stragglers emerge from PFS queueing
+	// contention instead of a random multiplier.
 	StragglerP   float64
 	StragglerMax float64
 	// Incremental enables delta checkpoint images: after the first (full)
@@ -194,6 +212,7 @@ func BaseConfig() Config {
 		Personality:        kernelsim.Unpatched,
 		Virtid:             virtid.ImplSharded,
 		Net:                netsim.DefaultParams(),
+		Storage:            storage.DefaultConfig(),
 		CkptWriteBandwidth: 2e9,
 		CkptReadBandwidth:  4e9,
 		StragglerP:         0.1,
@@ -285,12 +304,42 @@ type CheckpointRecord struct {
 	DrainPlanned int
 	OverlapWidth int
 	DrainEvents  uint64
+	// StoredBytes is what the storage layer actually moved for this
+	// checkpoint: ImageBytes after the delta-page compression stage
+	// (equal to ImageBytes when compression is off).
+	StoredBytes uint64
+	// CompressSavedBytes and CompressTime account the per-page delta
+	// compressor: PFS bytes saved versus kernel CPU charged to the
+	// ranks' checkpoint-overhead clocks.
+	CompressSavedBytes uint64
+	CompressTime       vtime.Duration
+	// StagedBytes and SpilledBytes split the stored payload between the
+	// node burst buffers and the synchronous PFS write-through forced by
+	// capacity overflow (both zero without staging).
+	StagedBytes  uint64
+	SpilledBytes uint64
+	// PFSWait is the total virtual time this checkpoint's PFS transfers
+	// — direct writes, capacity spills, asynchronous drains — spent
+	// queued behind other transfers on the contended filesystem: the
+	// emergent-straggler signal that replaced the dialled-in model.
+	PFSWait vtime.Duration
+	// DurableAt is when this checkpoint's link finished draining to the
+	// PFS and became a durable restore candidate; for direct writes it
+	// equals SafeAt + MaxWriteTime. Zero in legacy-straggler mode.
+	DurableAt vtime.Time
 	// TornImages counts per-rank images whose PFS write was interrupted by
 	// an injected torn-write fault (Complete == false, partial payload);
 	// CorruptPages counts pages silently damaged by injected
 	// page-corruption faults. Both zero for a clean checkpoint.
 	TornImages   int
 	CorruptPages int
+	// DrainTornImages and DrainCorruptPages count injected faults on the
+	// buffer→PFS drain hop ("image-write/drain" anchors): the damage
+	// lands on the durable copy after the commit fingerprinted the clean
+	// staged payload, so the run continues and the damage surfaces only
+	// at restart verification.
+	DrainTornImages   int
+	DrainCorruptPages int
 	// Fingerprint digests every rank's image for determinism checks.
 	Fingerprint uint64
 }
@@ -324,6 +373,12 @@ type RestartRecord struct {
 	CorruptLinks  int
 	VerifiedPages int
 	VerifyTime    vtime.Duration
+	// BufferOnlyLinks counts links the walk skipped because their images
+	// were staged in node burst buffers but never finished draining to
+	// the PFS when the job died — copies that died with the node, not
+	// restore candidates. They are rejected on metadata alone, without
+	// per-page verification cost.
+	BufferOnlyLinks int
 }
 
 // request is one in-flight checkpoint request.
@@ -342,6 +397,17 @@ type chainLink struct {
 	seq      int
 	images   []rank.Image
 	counters netsim.Counters
+	// durable marks the link's images safe on the PFS: written directly,
+	// or with every burst-buffer copy drained. Restart only restores
+	// from durable links — a staged-but-undrained copy dies with the
+	// node's buffers.
+	durable bool
+	// pendingDrains counts the per-rank drains still in flight;
+	// staged[r] records rank r's staged bytes so the drain-done event
+	// (or generation retirement) can free its buffer occupancy. staged
+	// is nil for direct/legacy links.
+	pendingDrains int
+	staged        []uint64
 }
 
 // generation is one full-image checkpoint plus the incremental links
@@ -382,15 +448,20 @@ const (
 	evTrigger
 	// evFail is the injected failure.
 	evFail
+	// evDrainDone completes one rank's asynchronous burst-buffer→PFS
+	// drain for one committed checkpoint. It lives on the global lane —
+	// it mutates chain-link durability, cross-island state — so parallel
+	// windows never run past one.
+	evDrainDone
 )
 
 // event is one entry on the virtual-time queue. Exactly one payload
 // field group is meaningful per kind.
 type event struct {
 	kind       eventKind
-	rank       int             // evRankReady
+	rank       int             // evRankReady; evDrainDone: draining rank
 	msg        *netsim.Message // evDelivery
-	trigger    int             // evTrigger: index into cfg.Triggers; evFail: index into faults
+	trigger    int             // evTrigger: index into cfg.Triggers; evFail: index into faults; evDrainDone: checkpoint seq
 	completion vtime.Time      // evCollectiveDone
 	comm       int             // evCollectiveDone: communicator the collective ran over
 	seq        uint64          // evCollectiveDone: forming-instance number (staleness guard)
@@ -522,6 +593,19 @@ type Coordinator struct {
 	pendCorrupt     int
 	pendVerifyPages int
 	pendVerifyTime  vtime.Duration
+	pendBufferOnly  int
+
+	// Storage-pipeline state: pfs is the contended shared-filesystem
+	// server every synchronous write, capacity spill and asynchronous
+	// drain queues on; bbUsed tracks each rank's staged-but-undrained
+	// burst-buffer occupancy (allocated only when staging is on);
+	// drainReqs is the per-checkpoint drain-request scratch. All of it
+	// hangs off the Coordinator, so concurrent fleet runs never share
+	// queue state, and Restart resets it — transfers of an abandoned
+	// timeline die with it.
+	pfs       storage.PFS
+	bbUsed    []uint64
+	drainReqs []drainReq
 
 	// events counts dispatched queue events; rankVisits counts how many
 	// times the scheduler touched a rank (op execution, wake attempt,
@@ -529,6 +613,14 @@ type Coordinator struct {
 	// count was iterations x ranks; here it scales with actual work.
 	events     uint64
 	rankVisits uint64
+}
+
+// drainReq is one rank's staged payload awaiting its asynchronous
+// burst-buffer→PFS drain, queued at the time its staging write finished.
+type drainReq struct {
+	rank   int
+	bytes  uint64
+	arrive vtime.Time
 }
 
 // New builds a job from the config: one rank per ID with a generated
@@ -591,6 +683,10 @@ func New(cfg Config) *Coordinator {
 		inCollComm:  takeSlice(&sc.inCollComm, cfg.Ranks),
 		held:        sc.takeHeld(),
 		mempool:     sc.mem,
+		pfs:         storage.NewPFS(cfg.Storage.PFSBandwidth),
+	}
+	if cfg.Storage.Staging && !cfg.Storage.LegacyStraggler {
+		c.bbUsed = make([]uint64, cfg.Ranks)
 	}
 	for id := range c.islandOf {
 		if cfg.Net.GroupSize > 0 {
@@ -1059,6 +1155,8 @@ func (c *Coordinator) dispatch(ev event) (failed bool) {
 		// without dying again.
 		c.faultFired[ev.trigger] = true
 		return true
+	case evDrainDone:
+		c.finishDrain(ev.trigger, ev.rank)
 	}
 	return false
 }
@@ -1230,6 +1328,7 @@ func (c *Coordinator) captureStage(r *rank.Rank, incremental bool, seq int) rank
 // contributes only its partial written size.
 func (c *Coordinator) accountStage(img rank.Image, rec *CheckpointRecord) {
 	rec.ImageBytes += img.WrittenBytes
+	rec.StoredBytes += img.StoredBytes
 	rec.FullBytes += img.FullBytes()
 	if img.Full {
 		rec.FullImages++
@@ -1241,18 +1340,166 @@ func (c *Coordinator) accountStage(img rank.Image, rec *CheckpointRecord) {
 	rec.DedupBytes += img.Delta.DedupBytes
 }
 
-// writeStage charges one rank's PFS image write — per byte actually
-// carried, so incremental checkpoints pay for dirty pages only and a torn
-// write pays only up to the tear — with the §3.4 straggler model applied
-// on top.
-func (c *Coordinator) writeStage(r *rank.Rank, img rank.Image, rec *CheckpointRecord) {
-	writeTime := ioTime(img.WrittenBytes, c.cfg.CkptWriteBandwidth)
-	if c.cfg.StragglerP > 0 {
-		writeTime = vtime.Duration(float64(writeTime) * c.rng.Straggler(c.cfg.StragglerP, c.cfg.StragglerMax))
+// compressStage runs the storage config's per-page compressor over one
+// rank's delta payload, charging the kernel CPU cost per input byte and
+// recording the stored (post-compression) size on the image. Full images
+// and torn (stage-fault) images pass through uncompressed: full snapshots
+// are the chain's integrity anchor, and a torn write was aborted mid-copy.
+func (c *Coordinator) compressStage(r *rank.Rank, img *rank.Image, rec *CheckpointRecord) {
+	sc := &c.cfg.Storage
+	if sc.LegacyStraggler || !sc.Compression || img.Full || !img.Complete {
+		return
+	}
+	stored, raw := sc.CompressDelta(&img.Delta)
+	cost := r.Kernel().CompressCost(raw, sc.CompressCost)
+	r.ChargeCkptOverhead(cost)
+	img.StoredBytes = img.WrittenBytes - raw + stored
+	rec.CompressSavedBytes += raw - stored
+	rec.CompressTime += cost
+}
+
+// writeStage charges one rank's commit-time image write, per byte
+// actually carried, so incremental checkpoints pay for dirty pages only
+// and a torn write pays only up to the tear.
+//
+// In the storage pipeline the write is either a direct transfer on the
+// contended PFS (stragglers emerge from queueing behind the other ranks'
+// writes) or a staging copy into the rank's node burst buffer at local
+// bandwidth, with payload beyond the buffer's free capacity written
+// through synchronously to the contended PFS. Staged bytes become a
+// drain request, queued on the PFS once the staging copy finishes.
+// Legacy-straggler mode reinstates the retired §3.4 flat-bandwidth write
+// with the dialled-in random straggler multiplier.
+func (c *Coordinator) writeStage(r *rank.Rank, img *rank.Image, rec *CheckpointRecord) {
+	sc := &c.cfg.Storage
+	if sc.LegacyStraggler {
+		writeTime := ioTime(img.WrittenBytes, c.cfg.CkptWriteBandwidth)
+		if c.cfg.StragglerP > 0 {
+			writeTime = vtime.Duration(float64(writeTime) * c.rng.Straggler(c.cfg.StragglerP, c.cfg.StragglerMax))
+		}
+		r.ChargeCkptOverhead(writeTime)
+		if writeTime > rec.MaxWriteTime {
+			rec.MaxWriteTime = writeTime
+		}
+		return
+	}
+	start := rec.SafeAt
+	var writeTime vtime.Duration
+	if !sc.Staging {
+		done, wait := c.pfs.Write(start, img.StoredBytes)
+		rec.PFSWait += wait
+		writeTime = done.Sub(start)
+	} else {
+		var free uint64
+		if sc.BBCapacity > c.bbUsed[r.ID()] {
+			free = sc.BBCapacity - c.bbUsed[r.ID()]
+		}
+		staged := img.StoredBytes
+		if staged > free {
+			staged = free
+		}
+		spill := img.StoredBytes - staged
+		writeTime = ioTime(staged, sc.BBBandwidth)
+		if spill > 0 {
+			done, wait := c.pfs.Write(start.Add(writeTime), spill)
+			rec.PFSWait += wait
+			rec.SpilledBytes += spill
+			writeTime = done.Sub(start)
+		}
+		c.bbUsed[r.ID()] += staged
+		rec.StagedBytes += staged
+		if staged > 0 {
+			c.drainReqs = append(c.drainReqs, drainReq{rank: r.ID(), bytes: staged, arrive: start.Add(writeTime)})
+		}
 	}
 	r.ChargeCkptOverhead(writeTime)
 	if writeTime > rec.MaxWriteTime {
 		rec.MaxWriteTime = writeTime
+	}
+}
+
+// scheduleDrains installs the just-committed link's durability state: a
+// direct or legacy write is durable at commit; a staged link queues one
+// PFS drain per rank (rank order, so the FIFO contention is
+// deterministic) and schedules each completion as a global-lane event.
+// The link becomes durable only when its last drain lands — until then
+// it is a buffer-only copy a restart must skip.
+func (c *Coordinator) scheduleDrains(rec *CheckpointRecord) {
+	g := c.gens[len(c.gens)-1]
+	link := &g.links[len(g.links)-1]
+	sc := &c.cfg.Storage
+	if sc.LegacyStraggler {
+		link.durable = true
+		return
+	}
+	if !sc.Staging || len(c.drainReqs) == 0 {
+		link.durable = true
+		rec.DurableAt = rec.SafeAt.Add(rec.MaxWriteTime)
+		return
+	}
+	link.staged = make([]uint64, len(c.ranks))
+	for _, dr := range c.drainReqs {
+		done, wait := c.pfs.Write(dr.arrive, dr.bytes)
+		rec.PFSWait += wait
+		link.staged[dr.rank] = dr.bytes
+		link.pendingDrains++
+		if done > rec.DurableAt {
+			rec.DurableAt = done
+		}
+		c.queues.Push(c.globalLane(), done, event{kind: evDrainDone, rank: dr.rank, trigger: rec.Seq})
+	}
+	c.drainReqs = c.drainReqs[:0]
+}
+
+// finishDrain completes one rank's asynchronous drain for checkpoint
+// seq: the burst-buffer occupancy is freed and, when this was the last
+// outstanding drain, the link becomes durable. A link already retired
+// from the retained set freed its occupancy when it was dropped, so a
+// stale completion is a no-op.
+func (c *Coordinator) finishDrain(seq, rankID int) {
+	link := c.findLink(seq)
+	if link == nil || link.staged == nil {
+		return
+	}
+	c.bbUsed[rankID] -= link.staged[rankID]
+	link.staged[rankID] = 0
+	link.pendingDrains--
+	if link.pendingDrains == 0 {
+		link.staged = nil
+		link.durable = true
+	}
+}
+
+// findLink locates a retained chain link by checkpoint sequence number,
+// newest first (drain completions almost always target the newest link).
+func (c *Coordinator) findLink(seq int) *chainLink {
+	for gi := len(c.gens) - 1; gi >= 0; gi-- {
+		links := c.gens[gi].links
+		for li := len(links) - 1; li >= 0; li-- {
+			if links[li].seq == seq {
+				return &links[li]
+			}
+		}
+	}
+	return nil
+}
+
+// releaseStaged frees the burst-buffer occupancy of every link in a
+// generation being retired from the retained set: the simulated
+// filesystem deletes the generation, so its staged copies stop holding
+// buffer space. Any still-queued drain-done events for these links find
+// them gone and no-op.
+func (c *Coordinator) releaseStaged(g *generation) {
+	for li := range g.links {
+		link := &g.links[li]
+		if link.staged == nil {
+			continue
+		}
+		for r, b := range link.staged {
+			c.bbUsed[r] -= b
+		}
+		link.staged = nil
+		link.pendingDrains = 0
 	}
 }
 
@@ -1320,6 +1567,9 @@ func (c *Coordinator) commitStage(images []rank.Image, rec *CheckpointRecord) {
 			keep = 1
 		}
 		if drop := len(c.gens) - keep; drop > 0 {
+			for _, old := range c.gens[:drop] {
+				c.releaseStaged(old)
+			}
 			c.gens = append(c.gens[:0], c.gens[drop:]...)
 		}
 		return
@@ -1365,28 +1615,39 @@ func (c *Coordinator) checkpoint() (crashed bool, err error) {
 	rec.SafeAt = c.MaxClock()
 	rec.DeferredFor = rec.SafeAt.Sub(rec.RequestedAt)
 
-	// Phase 2: the commit pipeline — capture, dedup accounting, write —
-	// run rank by rank in rank order, so no map order reaches the record.
-	// Capture runs first for every rank so image-write faults (torn or
-	// corrupted links) can damage the captured payloads before accounting,
-	// write charging and digesting see them; for a clean checkpoint the
-	// split loop is byte-identical to the fused one (captures do not
-	// interact across ranks, and the straggler RNG draws stay in rank
-	// order).
+	// Phase 2: the commit pipeline — capture, stage-hop faults,
+	// compression, dedup accounting, write — run rank by rank in rank
+	// order, so no map order reaches the record. Capture runs first for
+	// every rank so stage-hop image-write faults (torn or corrupted
+	// links) can damage the captured payloads before compression,
+	// accounting, write charging and digesting see them; for a clean
+	// checkpoint the split loop is byte-identical to the fused one
+	// (captures do not interact across ranks, and in legacy mode the
+	// straggler RNG draws stay in rank order).
 	incremental := c.wantIncremental()
 	images := make([]rank.Image, len(c.ranks))
 	for i, r := range c.ranks {
 		images[i] = c.captureStage(r, incremental, rec.Seq)
 	}
 	crashed = c.applyImageFaults(images, &rec)
+	for i, r := range c.ranks {
+		c.compressStage(r, &images[i], &rec)
+	}
 	h := fnv.New64a()
+	c.drainReqs = c.drainReqs[:0]
 	for i, r := range c.ranks {
 		c.accountStage(images[i], &rec)
-		c.writeStage(r, images[i], &rec)
+		c.writeStage(r, &images[i], &rec)
 		c.digestImage(h, images[i])
 	}
 	rec.Fingerprint = h.Sum64()
 	c.commitStage(images, &rec)
+	// Drain-hop faults damage the committed link's durable copy after
+	// the fingerprint digested the clean staged payload; the drains are
+	// then queued on the contended PFS and their completions scheduled
+	// as global-lane events.
+	c.applyDrainFaults(&rec)
+	c.scheduleDrains(&rec)
 	c.records = append(c.records, rec)
 
 	// Checkpoint-commit crashes are events like everything else: each
@@ -1412,7 +1673,7 @@ func (c *Coordinator) checkpoint() (crashed bool, err error) {
 // touched regions first (snapshot payloads alias live sealed slices).
 func (c *Coordinator) applyImageFaults(images []rank.Image, rec *CheckpointRecord) (crashed bool) {
 	for i, f := range c.faults {
-		if c.faultFired[i] || f.Anchor != faultplan.AtImageWrite || f.N != rec.Seq {
+		if c.faultFired[i] || f.Anchor != faultplan.AtImageWrite || f.Hop != faultplan.HopStage || f.N != rec.Seq {
 			continue
 		}
 		c.faultFired[i] = true
@@ -1429,6 +1690,7 @@ func (c *Coordinator) applyImageFaults(images []rank.Image, rec *CheckpointRecor
 			}
 			img.Complete = false
 			img.WrittenBytes = written
+			img.StoredBytes = written
 			rec.TornImages++
 			crashed = true
 		case faultplan.PageCorruption:
@@ -1440,6 +1702,46 @@ func (c *Coordinator) applyImageFaults(images []rank.Image, rec *CheckpointRecor
 		}
 	}
 	return crashed
+}
+
+// applyDrainFaults fires the image-write faults qualified to the
+// buffer→PFS drain hop for the just-committed checkpoint. The damage
+// lands on the committed link's images — the durable copy — after the
+// commit fingerprinted the clean staged payload: the job does not crash
+// (the drain is asynchronous; nothing observes the damage at commit
+// time), and a torn or corrupted durable copy surfaces only when a
+// later restart's verification walk rehashes the link.
+func (c *Coordinator) applyDrainFaults(rec *CheckpointRecord) {
+	g := c.gens[len(c.gens)-1]
+	link := &g.links[len(g.links)-1]
+	for i, f := range c.faults {
+		if c.faultFired[i] || f.Anchor != faultplan.AtImageWrite || f.Hop != faultplan.HopDrain || f.N != rec.Seq {
+			continue
+		}
+		c.faultFired[i] = true
+		img := &link.images[f.Rank]
+		switch f.Kind {
+		case faultplan.TornWrite:
+			total := img.Bytes()
+			written := total / 2
+			if f.Pages > 0 {
+				written = uint64(f.Pages) * memsim.PageSize
+			}
+			if written > total {
+				written = total
+			}
+			img.Complete = false
+			img.WrittenBytes = written
+			img.StoredBytes = written
+			rec.DrainTornImages++
+		case faultplan.PageCorruption:
+			if img.Full {
+				rec.DrainCorruptPages += memsim.CorruptSnapshot(&img.Mem, f.Pages)
+			} else {
+				rec.DrainCorruptPages += memsim.CorruptDelta(&img.Delta, f.Pages)
+			}
+		}
+	}
 }
 
 // ErrRestartFault and ErrNoVerifiableGeneration are the named failures of
@@ -1543,6 +1845,16 @@ func (c *Coordinator) Restart() error {
 	c.pending = nil
 	c.armed = c.armed[:0]
 	c.queues.Clear()
+	// The crash also took the storage pipeline's transient state with
+	// it: in-flight PFS transfers die with their timeline (the queue
+	// clear above already dropped the drain-done events) and the node
+	// burst buffers come back empty — which is exactly why undrained
+	// links stay non-durable forever.
+	c.pfs.Reset()
+	for i := range c.bbUsed {
+		c.bbUsed[i] = 0
+	}
+	c.drainReqs = c.drainReqs[:0]
 	for i, t := range c.triggers {
 		if !c.fired[i] {
 			c.queues.Push(c.globalLane(), t.At, event{kind: evTrigger, trigger: i})
@@ -1568,18 +1880,19 @@ func (c *Coordinator) Restart() error {
 	g.links = g.links[:prefix]
 	c.gens = c.gens[:gi+1]
 	rec := RestartRecord{
-		FromSeq:       link.seq,
-		ResumeClock:   c.maxClock,
-		FallbackDepth: newest - link.seq,
-		TornLinks:     c.pendTorn,
-		CorruptLinks:  c.pendCorrupt,
-		VerifiedPages: c.pendVerifyPages,
-		VerifyTime:    c.pendVerifyTime,
+		FromSeq:         link.seq,
+		ResumeClock:     c.maxClock,
+		FallbackDepth:   newest - link.seq,
+		TornLinks:       c.pendTorn,
+		CorruptLinks:    c.pendCorrupt,
+		VerifiedPages:   c.pendVerifyPages,
+		VerifyTime:      c.pendVerifyTime,
+		BufferOnlyLinks: c.pendBufferOnly,
 	}
 	if preClock > c.maxClock {
 		rec.LostWork = preClock.Sub(c.maxClock)
 	}
-	c.pendTorn, c.pendCorrupt, c.pendVerifyPages, c.pendVerifyTime = 0, 0, 0, 0
+	c.pendTorn, c.pendCorrupt, c.pendVerifyPages, c.pendVerifyTime, c.pendBufferOnly = 0, 0, 0, 0, 0
 	c.restarts = append(c.restarts, rec)
 	return nil
 }
@@ -1602,6 +1915,14 @@ func (c *Coordinator) verifyPrefix(g *generation) int {
 	for li := range g.links {
 		link := &g.links[li]
 		if c.poisoned[link.seq] {
+			break
+		}
+		if !link.durable {
+			// The link's images were staged in node burst buffers but
+			// never finished draining to the PFS before the crash: the
+			// only copies died with the node. Rejected on metadata alone
+			// — there is nothing on the filesystem to rehash.
+			c.pendBufferOnly++
 			break
 		}
 		ok := true
@@ -1663,6 +1984,15 @@ func ioTime(bytes uint64, bandwidth float64) vtime.Duration {
 	return vtime.DurationOf(float64(bytes) / bandwidth)
 }
 
+// bwString renders a storage bandwidth for the report header:
+// "16.0GB/s", or "free" for the non-positive free-I/O sentinel.
+func bwString(bw float64) string {
+	if bw <= 0 {
+		return "free"
+	}
+	return fmt.Sprintf("%.1fGB/s", bw/1e9)
+}
+
 // FinalFingerprint digests every rank's final clock and upper-half
 // memory, so two runs can be compared for bit-identical results.
 func (c *Coordinator) FinalFingerprint() uint64 {
@@ -1702,6 +2032,19 @@ func (c *Coordinator) WriteReport(w io.Writer) {
 	}
 	fmt.Fprintf(w, "comms: %d (1 world + %d split), comm-splits executed=%d\n",
 		len(c.comms), len(c.comms)-1, splits)
+	if sc := &c.cfg.Storage; !sc.LegacyStraggler {
+		fmt.Fprintf(w, "storage: pfs-aggregate=%s", bwString(sc.PFSBandwidth))
+		if sc.Staging {
+			fmt.Fprintf(w, ", burst-buffer=%s cap=%d", bwString(sc.BBBandwidth), sc.BBCapacity)
+		} else {
+			fmt.Fprintf(w, ", staging=off")
+		}
+		if sc.Compression {
+			fmt.Fprintf(w, ", compression=on cost=%gns/B\n", sc.CompressCost)
+		} else {
+			fmt.Fprintf(w, ", compression=off\n")
+		}
+	}
 
 	fmt.Fprintf(w, "\nranks:\n")
 	fmt.Fprintf(w, "  %4s %16s %10s %6s %6s %6s %14s %14s\n",
@@ -1725,9 +2068,22 @@ func (c *Coordinator) WriteReport(w io.Writer) {
 			rec.FullBytes, rec.DirtyBytes, rec.DedupRatio())
 		fmt.Fprintf(w, "     coll-drain: planned=%d overlap-width=%d drain-events=%d\n",
 			rec.DrainPlanned, rec.OverlapWidth, rec.DrainEvents)
-		if rec.TornImages > 0 || rec.CorruptPages > 0 {
-			fmt.Fprintf(w, "     faults: torn-images=%d corrupt-pages=%d\n",
-				rec.TornImages, rec.CorruptPages)
+		if !c.cfg.Storage.LegacyStraggler {
+			fmt.Fprintf(w, "     io: stored %d bytes", rec.StoredBytes)
+			if c.cfg.Storage.Compression {
+				fmt.Fprintf(w, " (saved %d, cpu %v)", rec.CompressSavedBytes, rec.CompressTime)
+			}
+			if c.cfg.Storage.Staging {
+				fmt.Fprintf(w, ", staged %d spilled %d", rec.StagedBytes, rec.SpilledBytes)
+			}
+			fmt.Fprintf(w, ", pfs-wait %v, durable@%v\n", rec.PFSWait, rec.DurableAt)
+		}
+		if rec.TornImages > 0 || rec.CorruptPages > 0 || rec.DrainTornImages > 0 || rec.DrainCorruptPages > 0 {
+			fmt.Fprintf(w, "     faults: torn-images=%d corrupt-pages=%d", rec.TornImages, rec.CorruptPages)
+			if rec.DrainTornImages > 0 || rec.DrainCorruptPages > 0 {
+				fmt.Fprintf(w, " drain-torn=%d drain-corrupt=%d", rec.DrainTornImages, rec.DrainCorruptPages)
+			}
+			fmt.Fprintln(w)
 		}
 	}
 
@@ -1735,8 +2091,12 @@ func (c *Coordinator) WriteReport(w io.Writer) {
 		fmt.Fprintf(w, "\nrestarts: %d\n", len(c.restarts))
 		for _, rs := range c.restarts {
 			fmt.Fprintf(w, "  restored from checkpoint #%d, resumed at vtime %v\n", rs.FromSeq, rs.ResumeClock)
-			fmt.Fprintf(w, "     fallback-depth=%d lost-work=%v verified %d pages in %v (torn-links=%d corrupt-links=%d)\n",
+			fmt.Fprintf(w, "     fallback-depth=%d lost-work=%v verified %d pages in %v (torn-links=%d corrupt-links=%d)",
 				rs.FallbackDepth, rs.LostWork, rs.VerifiedPages, rs.VerifyTime, rs.TornLinks, rs.CorruptLinks)
+			if rs.BufferOnlyLinks > 0 {
+				fmt.Fprintf(w, " buffer-only-links=%d", rs.BufferOnlyLinks)
+			}
+			fmt.Fprintln(w)
 		}
 	}
 

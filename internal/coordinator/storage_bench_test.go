@@ -1,0 +1,90 @@
+package coordinator
+
+import (
+	"fmt"
+	"testing"
+
+	"mana/internal/storage"
+	"mana/internal/vtime"
+)
+
+// benchStorageRun executes one default incremental workload under the
+// given storage config and returns the committed checkpoint records.
+func benchStorageRun(b *testing.B, st storage.Config) []CheckpointRecord {
+	b.Helper()
+	cfg := faultConfig()
+	cfg.Incremental = true
+	cfg.FullImageEvery = 4
+	cfg.Storage = st
+	c := New(cfg)
+	if _, err := c.Run(); err != nil {
+		b.Fatalf("Run: %v", err)
+	}
+	return c.Records()
+}
+
+// BenchmarkCheckpointCommit prices the default incremental workload
+// under each built-in storage profile. ns/op is the simulator's
+// wall-clock cost; max-write-ns is the model's slowest checkpoint
+// write time — the acceptance metric: staged and staged-compressed
+// must land measurably below direct's contended PFS writes.
+func BenchmarkCheckpointCommit(b *testing.B) {
+	for _, profile := range []string{"direct", "staged", "staged-compressed"} {
+		b.Run(profile, func(b *testing.B) {
+			spec, ok := storage.Profile(profile)
+			if !ok {
+				b.Fatalf("profile %q missing", profile)
+			}
+			st, err := storage.Compile(spec)
+			if err != nil {
+				b.Fatalf("compile %q: %v", profile, err)
+			}
+			b.ReportAllocs()
+			var maxWrite vtime.Duration
+			for i := 0; i < b.N; i++ {
+				maxWrite = 0
+				for _, rec := range benchStorageRun(b, st) {
+					if rec.MaxWriteTime > maxWrite {
+						maxWrite = rec.MaxWriteTime
+					}
+				}
+			}
+			b.ReportMetric(float64(maxWrite), "max-write-ns")
+		})
+	}
+}
+
+// BenchmarkCompressionPayoff sweeps the per-byte compression CPU cost
+// over the staged pipeline. The byte saving is fixed by the region
+// ratios while the CPU bill scales with cost, so the sweep reads as a
+// crossover: compression pays off while compress-cpu-ns stays below the
+// PFS drain time the saved bytes would have taken.
+func BenchmarkCompressionPayoff(b *testing.B) {
+	// Zero would compile to the model default, so the sweep starts just
+	// above free.
+	for _, cost := range []float64{0.1, 0.3, 1, 3, 10} {
+		b.Run(fmt.Sprintf("cost=%gns", cost), func(b *testing.B) {
+			spec, ok := storage.Profile("staged-compressed")
+			if !ok {
+				b.Fatal("staged-compressed profile missing")
+			}
+			spec.Compression.CostNsPerByte = cost
+			st, err := storage.Compile(spec)
+			if err != nil {
+				b.Fatalf("compile: %v", err)
+			}
+			b.ReportAllocs()
+			var cpu vtime.Duration
+			var saved uint64
+			for i := 0; i < b.N; i++ {
+				cpu, saved = 0, 0
+				for _, rec := range benchStorageRun(b, st) {
+					cpu += rec.CompressTime
+					saved += rec.CompressSavedBytes
+				}
+			}
+			b.ReportMetric(float64(cpu), "compress-cpu-ns")
+			b.ReportMetric(float64(saved), "saved-bytes")
+		})
+	}
+}

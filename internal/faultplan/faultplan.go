@@ -18,6 +18,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"strings"
 	"time"
 
 	"mana/internal/vtime"
@@ -62,6 +63,34 @@ func (a Anchor) String() string {
 	return fmt.Sprintf("anchor(%d)", int(a))
 }
 
+// Hop qualifies an image-write anchor with the checkpoint I/O hop the
+// fault strikes: the commit-time stage into the node's burst buffer (or
+// the direct PFS write when staging is off), or the later asynchronous
+// buffer→PFS drain. Bare "image-write" keeps its historical meaning as a
+// documented alias for the stage hop.
+type Hop int
+
+const (
+	// HopStage is the commit-time write — the only hop that existed
+	// before the two-tier pipeline, hence the zero value and the bare
+	// "image-write" alias.
+	HopStage Hop = iota
+	// HopDrain is the asynchronous burst-buffer→PFS drain; faults here
+	// damage the durable PFS copy after the job has already moved on.
+	HopDrain
+)
+
+// String returns the hop's spelling in an anchor qualifier.
+func (h Hop) String() string {
+	switch h {
+	case HopStage:
+		return "stage"
+	case HopDrain:
+		return "drain"
+	}
+	return fmt.Sprintf("hop(%d)", int(h))
+}
+
 // Kind identifies what failure the fault injects.
 type Kind int
 
@@ -94,7 +123,11 @@ func (k Kind) String() string {
 // Spec is one declarative injection as it appears in plan JSON.
 type Spec struct {
 	// At anchors the fault: "checkpoint-commit", "drain-start",
-	// "image-write", "virtual-time", or "restart".
+	// "image-write", "virtual-time", or "restart". An image-write anchor
+	// may carry a hop qualifier — "image-write/stage" strikes the
+	// commit-time write, "image-write/drain" the asynchronous
+	// burst-buffer→PFS drain; bare "image-write" is the documented alias
+	// for the stage hop.
 	At string `json:"at"`
 	// N is the 1-based ordinal for checkpoint-commit / drain-start /
 	// image-write (checkpoint sequence number) and restart (attempt
@@ -131,12 +164,15 @@ type Plan struct {
 // Fault is a compiled injection with parsed times and a range-checked rank.
 type Fault struct {
 	Anchor Anchor
-	N      int
-	Time   vtime.Time
-	Kind   Kind
-	Rank   int
-	Delay  vtime.Duration
-	Pages  int
+	// Hop is meaningful only for AtImageWrite anchors; its zero value
+	// (HopStage) is what bare "image-write" compiles to.
+	Hop   Hop
+	N     int
+	Time  vtime.Time
+	Kind  Kind
+	Rank  int
+	Delay vtime.Duration
+	Pages int
 }
 
 // Parse decodes a standalone plan document, rejecting unknown fields and
@@ -184,9 +220,17 @@ func (p *Plan) ValidateNamed(errf func(path, format string, args ...any) error) 
 }
 
 func (f *Spec) validate(path string, errf func(path, format string, args ...any) error) error {
-	anchor, ok := parseAnchor(f.At)
+	anchor, _, ok := parseAnchor(f.At)
 	if !ok {
-		return errf(path+".at", "unknown anchor %q (want \"checkpoint-commit\", \"drain-start\", \"image-write\", \"virtual-time\", or \"restart\")", f.At)
+		if base, qual, found := strings.Cut(f.At, "/"); found {
+			if a, _, baseOK := parseAnchor(base); baseOK {
+				if a != AtImageWrite {
+					return errf(path+".at", "anchor %q takes no hop qualifier, got %q", base, qual)
+				}
+				return errf(path+".at", "unknown hop qualifier %q for anchor \"image-write\" (want \"stage\" or \"drain\")", qual)
+			}
+		}
+		return errf(path+".at", "unknown anchor %q (want \"checkpoint-commit\", \"drain-start\", \"image-write[/stage|/drain]\", \"virtual-time\", or \"restart\")", f.At)
 	}
 	kind, ok := parseKind(f.Kind)
 	if !ok {
@@ -267,12 +311,12 @@ func (p *Plan) Compile(ranks int) ([]Fault, error) {
 	}
 	out := make([]Fault, len(p.Faults))
 	for i, f := range p.Faults {
-		anchor, _ := parseAnchor(f.At)
+		anchor, hop, _ := parseAnchor(f.At)
 		kind, _ := parseKind(f.Kind)
 		if anchor == AtImageWrite && f.Rank >= ranks {
 			return nil, fmt.Errorf("faultplan: faults[%d].rank: rank %d out of range for a %d-rank job", i, f.Rank, ranks)
 		}
-		c := Fault{Anchor: anchor, N: f.N, Kind: kind, Rank: f.Rank, Pages: f.Pages}
+		c := Fault{Anchor: anchor, Hop: hop, N: f.N, Kind: kind, Rank: f.Rank, Pages: f.Pages}
 		if f.Time != "" {
 			d, _ := time.ParseDuration(f.Time)
 			c.Time = vtime.Time(d)
@@ -297,20 +341,52 @@ func Legacy(n int, delay vtime.Duration) Plan {
 	}}}
 }
 
-func parseAnchor(s string) (Anchor, bool) {
-	switch s {
+// parseAnchor resolves an anchor spelling, including the optional
+// image-write hop qualifier. Bare "image-write" resolves to HopStage —
+// the historical meaning, kept as a documented alias.
+func parseAnchor(s string) (Anchor, Hop, bool) {
+	base, qual, qualified := strings.Cut(s, "/")
+	var a Anchor
+	switch base {
 	case "checkpoint-commit":
-		return AtCheckpointCommit, true
+		a = AtCheckpointCommit
 	case "drain-start":
-		return AtDrainStart, true
+		a = AtDrainStart
 	case "image-write":
-		return AtImageWrite, true
+		a = AtImageWrite
 	case "virtual-time":
-		return AtVirtualTime, true
+		a = AtVirtualTime
 	case "restart":
-		return AtRestart, true
+		a = AtRestart
+	default:
+		return 0, 0, false
 	}
-	return 0, false
+	if !qualified {
+		return a, HopStage, true
+	}
+	if a != AtImageWrite {
+		return 0, 0, false
+	}
+	switch qual {
+	case "stage":
+		return a, HopStage, true
+	case "drain":
+		return a, HopDrain, true
+	}
+	return 0, 0, false
+}
+
+// AnyDrainHop reports whether any compiled fault targets the
+// buffer→PFS drain hop. Such plans are only meaningful when burst-buffer
+// staging is enabled, and configuration surfaces reject the combination
+// by name otherwise.
+func AnyDrainHop(faults []Fault) bool {
+	for _, f := range faults {
+		if f.Anchor == AtImageWrite && f.Hop == HopDrain {
+			return true
+		}
+	}
+	return false
 }
 
 func parseKind(s string) (Kind, bool) {

@@ -111,6 +111,77 @@ func TestValidateNamedGraftsPath(t *testing.T) {
 	}
 }
 
+// TestHopQualifierRoundTrips pins the image-write hop qualifier through
+// Parse → Validate → Compile: the explicit stage and drain spellings
+// resolve to their hops, and the bare anchor stays a documented alias
+// for the stage hop, so pre-qualifier plans compile unchanged.
+func TestHopQualifierRoundTrips(t *testing.T) {
+	doc := `{
+		"faults": [
+			{"at": "image-write/stage", "n": 1, "kind": "torn-write"},
+			{"at": "image-write/drain", "n": 2, "kind": "torn-write", "rank": 3},
+			{"at": "image-write", "n": 3, "kind": "page-corruption", "pages": 2},
+			{"at": "image-write/drain", "n": 3, "kind": "page-corruption", "pages": 4}
+		]
+	}`
+	p, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	fs, err := p.Compile(8)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	want := []Hop{HopStage, HopDrain, HopStage, HopDrain}
+	for i, f := range fs {
+		if f.Anchor != AtImageWrite {
+			t.Errorf("fault %d anchor = %v, want AtImageWrite", i, f.Anchor)
+		}
+		if f.Hop != want[i] {
+			t.Errorf("fault %d hop = %v, want %v", i, f.Hop, want[i])
+		}
+	}
+	if HopStage.String() != "stage" || HopDrain.String() != "drain" {
+		t.Errorf("hop spellings = %q/%q, want stage/drain", HopStage, HopDrain)
+	}
+	if !AnyDrainHop(fs) {
+		t.Error("AnyDrainHop missed the drain faults")
+	}
+	if AnyDrainHop(fs[:1]) || AnyDrainHop(fs[2:3]) {
+		t.Error("AnyDrainHop flagged stage-only faults")
+	}
+}
+
+// TestHopQualifierRejections covers the qualifier's validation errors:
+// only image-write takes one, and only the two documented spellings.
+func TestHopQualifierRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"hop on commit", `{"faults": [{"at":"checkpoint-commit/drain","n":1,"kind":"rank-crash"}]}`,
+			`faults[0].at: anchor "checkpoint-commit" takes no hop qualifier, got "drain"`},
+		{"hop on drain-start", `{"faults": [{"at":"drain-start/stage","n":1,"kind":"rank-crash"}]}`,
+			`faults[0].at: anchor "drain-start" takes no hop qualifier, got "stage"`},
+		{"unknown hop", `{"faults": [{"at":"image-write/sideways","n":1,"kind":"torn-write"}]}`,
+			`faults[0].at: unknown hop qualifier "sideways" for anchor "image-write" (want "stage" or "drain")`},
+		{"empty hop", `{"faults": [{"at":"image-write/","n":1,"kind":"torn-write"}]}`,
+			`faults[0].at: unknown hop qualifier ""`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("Parse accepted %s", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %q, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
 func TestLegacyPlanRoundTrips(t *testing.T) {
 	p := Legacy(2, 250*vtime.Microsecond)
 	if err := p.Validate(); err != nil {

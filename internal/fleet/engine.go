@@ -36,6 +36,7 @@ import (
 	"mana/internal/faultplan"
 	"mana/internal/kernelsim"
 	"mana/internal/scenario"
+	"mana/internal/storage"
 	"mana/internal/virtid"
 	"mana/internal/vtime"
 )
@@ -76,6 +77,14 @@ type Job struct {
 	Faults      *faultplan.Plan
 	Incremental bool
 	FullEvery   int
+	// Storage, when non-nil, declares the checkpoint I/O pipeline for
+	// this job (burst-buffer staging, PFS contention, compression) and
+	// replaces any storage block the spec itself declares. Nil uses the
+	// spec's block, or the direct-to-PFS default when the spec has none.
+	Storage *storage.Spec
+	// LegacyStraggler restores the pre-storage flat-bandwidth write model
+	// with RNG-drawn stragglers. Mutually exclusive with Storage.
+	LegacyStraggler bool
 	// Islands <= 0 applies the spec's lane-count hint (or serial);
 	// Workers <= 1 drains serially. Both are pure performance knobs.
 	Islands int
@@ -102,6 +111,12 @@ type Result struct {
 	FallbackDepth int
 	// LostWork totals the virtual time re-executed across all restarts.
 	LostWork vtime.Duration
+	// StoredBytes totals what every committed checkpoint shipped to
+	// storage after compression (ImageBytes when compression is off).
+	StoredBytes uint64
+	// PFSWait totals the contention delay checkpoint writes and drains
+	// spent queued behind the shared parallel file system.
+	PFSWait vtime.Duration
 }
 
 // compileKey identifies one compiled program set. The spec is keyed by
@@ -268,6 +283,25 @@ func (e *Engine) Config(j Job) (coordinator.Config, error) {
 			cfg.MaxRestarts = plan.MaxRestarts
 		}
 	}
+	spec := j.Storage
+	if spec == nil {
+		spec = j.Spec.Storage
+	}
+	if j.LegacyStraggler {
+		if spec != nil {
+			return coordinator.Config{}, fmt.Errorf("fleet: job sets LegacyStraggler alongside a storage spec; the legacy write model has no storage pipeline")
+		}
+		cfg.Storage.LegacyStraggler = true
+	} else {
+		st, err := storage.Compile(spec)
+		if err != nil {
+			return coordinator.Config{}, err
+		}
+		cfg.Storage = st
+	}
+	if faultplan.AnyDrainHop(cfg.Faults) && !cfg.Storage.Staging {
+		return coordinator.Config{}, fmt.Errorf("fleet: fault plan anchors on \"image-write/drain\" but the job's storage has no burst buffer; drain faults need staging")
+	}
 	cfg.Islands = j.Islands
 	if cfg.Islands <= 0 && j.Spec.Islands > 0 {
 		cfg.Islands = j.Spec.Islands
@@ -333,6 +367,8 @@ func (e *Engine) Run(cfg coordinator.Config, w io.Writer) (Result, error) {
 	}
 	for _, rec := range c.Records() {
 		res.ImageBytes += rec.ImageBytes
+		res.StoredBytes += rec.StoredBytes
+		res.PFSWait += rec.PFSWait
 	}
 	for _, rr := range c.Restarts() {
 		if rr.FallbackDepth > res.FallbackDepth {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mana/internal/coordinator"
+	"mana/internal/storage"
 	"mana/internal/virtid"
 	"mana/internal/vtime"
 )
@@ -28,7 +29,11 @@ type Sweep struct {
 	// ("sharded", "mutex").
 	Virtids     []string
 	Incremental []bool
-	Base        Job
+	// Storage values are built-in profile names or JSON file paths
+	// (storage.Load); empty runs one storage point per cell taken from
+	// Base (Base.Storage / Base.LegacyStraggler).
+	Storage []string
+	Base    Job
 	// PoolWorkers bounds how many cells run concurrently
 	// (<= 0: GOMAXPROCS). Distinct from Base.Workers, which parallelises
 	// within one run.
@@ -46,6 +51,9 @@ type Cell struct {
 	CkptAt      string `json:"ckpt_at"`
 	Virtid      string `json:"virtid"`
 	Incremental bool   `json:"incremental"`
+	// Storage is the cell's storage coordinate ("" when the sweep does
+	// not vary storage and the base job's pipeline applies).
+	Storage string `json:"storage,omitempty"`
 
 	ReportFNV64 string `json:"report_fnv64"`
 	ReportBytes int    `json:"report_bytes"`
@@ -58,9 +66,14 @@ type Cell struct {
 	// FallbackDepth and LostWorkNs summarise recovery cost: the deepest
 	// generation fallback any restart in the cell took, and the virtual
 	// time re-executed across all of its restarts.
-	FallbackDepth int     `json:"fallback_depth"`
-	LostWorkNs    int64   `json:"lost_work_ns"`
-	WallMs        float64 `json:"wall_ms"`
+	FallbackDepth int   `json:"fallback_depth"`
+	LostWorkNs    int64 `json:"lost_work_ns"`
+	// StoredBytes and PFSWaitNs summarise the storage pipeline: bytes
+	// shipped to storage after compression, and the virtual time
+	// checkpoint writes spent queued behind the contended PFS.
+	StoredBytes uint64  `json:"stored_bytes"`
+	PFSWaitNs   int64   `json:"pfs_wait_ns"`
+	WallMs      float64 `json:"wall_ms"`
 }
 
 // Totals aggregates the sweep: how much work ran, how fast, and how
@@ -106,7 +119,27 @@ func (e *Engine) enumerate(s Sweep) ([]cellJob, error) {
 	case len(s.Incremental) == 0:
 		return nil, fmt.Errorf("fleet: sweep has no incremental values")
 	}
-	cells := make([]cellJob, 0, len(s.Specs)*len(s.Ranks)*len(s.CkptAt)*len(s.Virtids)*len(s.Incremental))
+	// The storage dimension is optional: absent, every cell runs the base
+	// job's pipeline. Named points resolve once each (profile or file).
+	storageNames := s.Storage
+	if len(storageNames) == 0 {
+		storageNames = []string{""}
+	}
+	storageSpecs := make(map[string]*storage.Spec, len(storageNames))
+	for _, name := range storageNames {
+		if name == "" {
+			continue
+		}
+		if _, ok := storageSpecs[name]; ok {
+			continue
+		}
+		sp, err := storage.Load(name)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: sweep storage %q: %w", name, err)
+		}
+		storageSpecs[name] = sp
+	}
+	cells := make([]cellJob, 0, len(s.Specs)*len(s.Ranks)*len(s.CkptAt)*len(s.Virtids)*len(s.Incremental)*len(storageNames))
 	for _, name := range s.Specs {
 		spec, err := e.LoadSpec(name)
 		if err != nil {
@@ -120,22 +153,29 @@ func (e *Engine) enumerate(s Sweep) ([]cellJob, error) {
 						return nil, fmt.Errorf("fleet: sweep virtid: %w", err)
 					}
 					for _, incr := range s.Incremental {
-						j := s.Base
-						j.Spec = spec
-						j.Ranks = ranks
-						j.CkptAt = vtime.Time(at)
-						j.Virtid = impl
-						j.Incremental = incr
-						cells = append(cells, cellJob{
-							cell: Cell{
-								Spec:        name,
-								Ranks:       ranks,
-								CkptAt:      at.String(),
-								Virtid:      vname,
-								Incremental: incr,
-							},
-							job: j,
-						})
+						for _, sname := range storageNames {
+							j := s.Base
+							j.Spec = spec
+							j.Ranks = ranks
+							j.CkptAt = vtime.Time(at)
+							j.Virtid = impl
+							j.Incremental = incr
+							if sname != "" {
+								j.Storage = storageSpecs[sname]
+								j.LegacyStraggler = false
+							}
+							cells = append(cells, cellJob{
+								cell: Cell{
+									Spec:        name,
+									Ranks:       ranks,
+									CkptAt:      at.String(),
+									Virtid:      vname,
+									Incremental: incr,
+									Storage:     sname,
+								},
+								job: j,
+							})
+						}
 					}
 				}
 			}
@@ -202,6 +242,8 @@ func (e *Engine) RunSweep(s Sweep) (*SweepResult, error) {
 				c.ImageBytes = res.ImageBytes
 				c.FallbackDepth = res.FallbackDepth
 				c.LostWorkNs = int64(res.LostWork)
+				c.StoredBytes = res.StoredBytes
+				c.PFSWaitNs = int64(res.PFSWait)
 				c.WallMs = float64(time.Since(cellStart)) / float64(time.Millisecond)
 			}
 		}()

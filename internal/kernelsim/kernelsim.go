@@ -226,6 +226,17 @@ func (k *Kernel) PageHashCost() vtime.Duration {
 	return pageHashCost
 }
 
+// CompressCost returns the CPU cost of feeding bytes of delta payload
+// through the checkpoint-time page compressor at nsPerByte (an lz4-class
+// software compressor; the storage configuration carries the rate, so
+// the same kernel can model faster or slower codecs).
+func (k *Kernel) CompressCost(bytes uint64, nsPerByte float64) vtime.Duration {
+	if nsPerByte <= 0 {
+		return 0
+	}
+	return vtime.Duration(float64(bytes) * nsPerByte)
+}
+
 // SbrkBehavior describes what the (real) kernel would do on an sbrk call in
 // a split process, and what MANA does about it.
 type SbrkBehavior int

@@ -98,6 +98,27 @@ func (k Kind) String() string {
 	return "unknown"
 }
 
+// ParseKind resolves a kind's short name ("text", "heap", ...) back to
+// the Kind, for configuration surfaces keyed by region class.
+func ParseKind(name string) (Kind, bool) {
+	for k, s := range kindNames {
+		if s == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// KindNames returns every kind's short name in Kind order, for error
+// messages listing the valid region classes.
+func KindNames() []string {
+	names := make([]string, 0, len(kindNames))
+	for k := KindText; int(k) < len(kindNames); k++ {
+		names = append(names, kindNames[k])
+	}
+	return names
+}
+
 // PageSize is the dirty-tracking granularity: the smallest unit of memory
 // an incremental checkpoint copies, hashes and writes. It matches the
 // x86-64 base page size the real MANA's mem-region scan operates on.

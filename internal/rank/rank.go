@@ -135,8 +135,14 @@ type Image struct {
 	// WrittenBytes is the payload actually written — Bytes() for a
 	// complete image, less for a torn one.
 	WrittenBytes uint64
-	Inbox        []netsim.Message
-	Virt         virtid.Snapshot
+	// StoredBytes is the payload the storage layer actually moves:
+	// WrittenBytes after the coordinator's delta-page compression stage
+	// (equal to WrittenBytes when compression is off or the image is
+	// full). It is storage accounting only — restore and verification
+	// work on the uncompressed payload.
+	StoredBytes uint64
+	Inbox       []netsim.Message
+	Virt        virtid.Snapshot
 	// PendingReqs is the FIFO of request handles posted by nonblocking
 	// operations and not yet retired by a wait — live handles that must
 	// keep resolving after restart.
@@ -819,6 +825,7 @@ func (r *Rank) CaptureImage(incremental bool) Image {
 	}
 	img.Complete = true
 	img.WrittenBytes = img.Bytes()
+	img.StoredBytes = img.WrittenBytes
 	return img
 }
 
@@ -846,6 +853,7 @@ func Overlay(base, img Image) Image {
 	out.Mem = memsim.ApplyDelta(base.Mem, img.Delta)
 	out.Delta = memsim.Delta{}
 	out.WrittenBytes = out.Bytes()
+	out.StoredBytes = out.WrittenBytes
 	return out
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mana/internal/faultplan"
+	"mana/internal/storage"
 	"mana/internal/vtime"
 )
 
@@ -46,6 +47,12 @@ type Spec struct {
 	// flag overrides it; when either is present the legacy
 	// -fail-after/-fail-delay failure scenario is disabled.
 	Faults *faultplan.Plan `json:"faults,omitempty"`
+	// Storage is the spec's checkpoint I/O configuration (see the storage
+	// package): contended PFS bandwidth, burst-buffer staging, delta-page
+	// compression. The CLI's -storage flag overrides it; individual
+	// storage flags alongside a spec-declared block (without that
+	// override) are rejected by name.
+	Storage *storage.Spec `json:"storage,omitempty"`
 }
 
 // SplitSpec describes one MPI_Comm_split of the world communicator into
@@ -198,6 +205,13 @@ func (s *Spec) Validate() error {
 	}
 	if s.Faults != nil {
 		if err := s.Faults.ValidateNamed(s.errf); err != nil {
+			return err
+		}
+	}
+	if s.Storage != nil {
+		if err := s.Storage.ValidateNamed(func(path, format string, args ...any) error {
+			return s.errf("storage."+path, format, args...)
+		}); err != nil {
 			return err
 		}
 	}
